@@ -1,0 +1,213 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark runs a scaled-down ("quick") configuration of
+// the corresponding experiment; cmd/experiments runs the full versions and
+// prints the paper-style tables.
+//
+//	go test -bench=. -benchmem
+package schism_test
+
+import (
+	"testing"
+
+	"schism/internal/experiments"
+	"schism/internal/graph"
+	"schism/internal/metis"
+	"schism/internal/partition"
+	"schism/internal/workloads"
+)
+
+var quick = experiments.Scale{Quick: true}
+
+// BenchmarkFigure1 regenerates Fig. 1 (the price of distribution): the
+// reported metric is the distributed/single throughput ratio at the
+// largest cluster (paper: ~0.5).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1(experiments.Fig1Config{MaxServers: 3}, quick)
+		last := rows[len(rows)-1]
+		if last.SingleTPS > 0 {
+			b.ReportMetric(last.DistributedTPS/last.SingleTPS, "dist/single-tps")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates each of the nine Fig. 4 experiments; the
+// reported metric is the chosen strategy's distributed-transaction
+// percentage.
+func BenchmarkFigure4(b *testing.B) {
+	for _, name := range []string{
+		"YCSB-A", "YCSB-E", "TPCC-2W", "TPCC-2W sampled", "TPCC-50W",
+		"TPC-E", "EPINIONS 2p", "EPINIONS 10p", "RANDOM",
+	} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.Fig4Case(name, quick)
+				if err != nil {
+					b.Fatal(err)
+				}
+				chosen := row.Schism
+				switch row.Chosen {
+				case "range-predicates":
+					chosen = row.Range
+				case "hashing":
+					chosen = row.Hashing
+				case "replication":
+					chosen = row.Replication
+				}
+				b.ReportMetric(100*chosen, "%distributed")
+				if row.Manual >= 0 {
+					b.ReportMetric(100*row.Manual, "%manual")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates Fig. 5 (partitioner scalability); the
+// metric is the seconds at the largest partition count on the largest
+// graph.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5([]int{2, 8, 32}, quick)
+		b.ReportMetric(rows[len(rows)-1].Seconds, "s/512way-equiv")
+	}
+}
+
+// BenchmarkFigure6 regenerates Fig. 6 (end-to-end TPC-C scaling); metrics
+// are the speedups at the largest cluster for both configurations
+// (paper: ~4.7x fixed, ~7.7x per-machine at 8 nodes).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(experiments.Fig6Config{Partitions: []int{1, 2, 4}}, quick)
+		first, last := rows[0], rows[len(rows)-1]
+		if first.FixedTotalTPS > 0 {
+			b.ReportMetric(last.FixedTotalTPS/first.FixedTotalTPS, "fixed-speedup")
+		}
+		if first.PerMachineTPS > 0 {
+			b.ReportMetric(last.PerMachineTPS/first.PerMachineTPS, "permachine-speedup")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (graph construction at the three
+// dataset shapes); the metric is total edges built.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(quick)
+		edges := 0
+		for _, r := range rows {
+			edges += r.Edges
+		}
+		b.ReportMetric(float64(edges), "edges")
+	}
+}
+
+// epinionsTrace builds the ablation workload once per benchmark.
+func epinionsTrace() *workloads.Workload {
+	return workloads.Epinions(workloads.EpinionsConfig{
+		Users: 500, Items: 250, Communities: 5, Txns: 4000, Seed: 11,
+	})
+}
+
+// BenchmarkAblationReplication compares the graph with and without the
+// replicated-tuple star expansion (§4.1 / Fig. 3): the metric is the
+// min-cut the partitioner achieves.
+func BenchmarkAblationReplication(b *testing.B) {
+	w := epinionsTrace()
+	for _, repl := range []bool{true, false} {
+		name := "off"
+		if repl {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := graph.Build(w.Trace, graph.Options{Replication: repl, Seed: 3})
+				_, cut, err := g.Partition(2, metis.Options{Seed: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cut), "edgecut")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTxnEdges compares clique vs star transaction edges
+// (App. B): the paper chose cliques for quality; stars build smaller
+// graphs.
+func BenchmarkAblationTxnEdges(b *testing.B) {
+	w := epinionsTrace()
+	for _, mode := range []struct {
+		name string
+		m    graph.EdgeMode
+	}{{"clique", graph.CliqueEdges}, {"star", graph.StarEdges}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := graph.Build(w.Trace, graph.Options{Replication: true, TxnEdges: mode.m, Seed: 3})
+				b.ReportMetric(float64(g.NumEdges()), "edges")
+				if _, _, err := g.Partition(2, metis.Options{Seed: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCoalescing measures the §5.1 tuple-coalescing
+// heuristic: node-count reduction at equal workloads.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	w := workloads.TPCC(workloads.TPCCConfig{
+		Warehouses: 2, Customers: 30, Items: 200, InitialOrders: 10, Txns: 2000, Seed: 12,
+	})
+	for _, coalesce := range []bool{false, true} {
+		name := "off"
+		if coalesce {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: coalesce, Seed: 3})
+				b.ReportMetric(float64(g.NumNodes()), "nodes")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSampling measures partitioning-quality degradation as
+// transaction-level sampling gets more aggressive (§5.1/§6.2): the metric
+// is the distributed fraction of the graph's own placement on the full
+// trace.
+func BenchmarkAblationSampling(b *testing.B) {
+	w := workloads.TPCC(workloads.TPCCConfig{
+		Warehouses: 2, Customers: 30, Items: 200, InitialOrders: 10, Txns: 2500, Seed: 13,
+	})
+	for _, rate := range []float64{1.0, 0.5, 0.25, 0.1} {
+		b.Run(pctName(rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := graph.Build(w.Trace, graph.Options{Replication: true, TxnSampleRate: rate, Seed: 3})
+				parts, _, err := g.Partition(2, metis.Options{Seed: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				asg := g.Assignments(parts)
+				cost := partition.EvaluateAssignments(w.Trace, asg, 2, nil)
+				b.ReportMetric(100*cost.DistributedFrac(), "%distributed")
+			}
+		})
+	}
+}
+
+func pctName(rate float64) string {
+	switch rate {
+	case 1.0:
+		return "100pct"
+	case 0.5:
+		return "50pct"
+	case 0.25:
+		return "25pct"
+	default:
+		return "10pct"
+	}
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates the tables and figures of the Schism
+// paper's evaluation (§3, §6):
+//
+//	experiments -run fig1    # price of distribution (Fig. 1)
+//	experiments -run fig4    # partitioning quality, 9 workloads (Fig. 4)
+//	experiments -run fig5    # partitioner scalability (Fig. 5)
+//	experiments -run fig6    # TPC-C end-to-end throughput scaling (Fig. 6)
+//	experiments -run table1  # graph sizes (Table 1)
+//	experiments -run all
+//
+// -scale N multiplies dataset sizes (1 = laptop defaults); -quick shrinks
+// them for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"schism/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|all")
+	scale := flag.Int("scale", 1, "dataset scale factor")
+	quick := flag.Bool("quick", false, "tiny datasets for smoke runs")
+	flag.Parse()
+
+	s := experiments.Scale{Factor: *scale, Quick: *quick}
+	which := strings.ToLower(*run)
+	ran := false
+	do := func(name string, f func()) {
+		if which == "all" || which == name {
+			f()
+			fmt.Println()
+			ran = true
+		}
+	}
+	do("fig1", func() { experiments.PrintFig1(os.Stdout, experiments.Fig1(experiments.Fig1Config{}, s)) })
+	do("fig4", func() { experiments.PrintFig4(os.Stdout, experiments.Fig4(s)) })
+	do("fig5", func() {
+		ks := []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
+		if *quick {
+			ks = []int{2, 8, 32}
+		}
+		experiments.PrintFig5(os.Stdout, experiments.Fig5(ks, s))
+	})
+	do("fig6", func() { experiments.PrintFig6(os.Stdout, experiments.Fig6(experiments.Fig6Config{}, s)) })
+	do("table1", func() { experiments.PrintTable1(os.Stdout, experiments.Table1(s)) })
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,12 @@
+// Package schism is a from-scratch Go reproduction of "Schism: a
+// Workload-Driven Approach to Database Replication and Partitioning"
+// (Curino, Jones, Zhang, Madden — VLDB 2010).
+//
+// The library lives under internal/: the pipeline in internal/core, the
+// substrates (graph builder, multilevel min-cut partitioner, C4.5-class
+// decision tree, SQL parser, storage engine, 2PL/2PC cluster simulator,
+// router, lookup tables, workload generators) in sibling packages, and the
+// paper's evaluation in internal/experiments. See README.md, DESIGN.md and
+// EXPERIMENTS.md; run the evaluation with cmd/experiments and the
+// partitioner with cmd/schism.
+package schism

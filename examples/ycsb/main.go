@@ -1,0 +1,31 @@
+// Example ycsb: the two YCSB validation-phase demonstrations (§6.1).
+// Workload A (single-tuple read/update) must make Schism fall back to
+// plain hash partitioning; workload E (range scans) must defeat hashing
+// and produce range predicates close to the manual split points.
+package main
+
+import (
+	"fmt"
+
+	"schism/internal/core"
+	"schism/internal/workloads"
+)
+
+func main() {
+	run := func(w *workloads.Workload, k int) {
+		res, err := core.Run(core.Input{
+			Trace:      w.Trace,
+			Resolver:   w.Resolver(),
+			KeyColumns: w.KeyColumns,
+			DB:         w.DB,
+		}, core.Options{Partitions: k, Seed: 42})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("=== %s ===\n", w.Name)
+		fmt.Print(res.Report())
+		fmt.Printf("validation chose: %s\n\n", res.ChosenName)
+	}
+	run(workloads.YCSBA(workloads.YCSBConfig{Rows: 20000, Txns: 5000}), 2)
+	run(workloads.YCSBE(workloads.YCSBConfig{Rows: 10000, Txns: 8000, MaxScan: 50}), 2)
+}

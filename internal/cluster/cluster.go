@@ -1,0 +1,157 @@
+// Package cluster simulates a shared-nothing distributed OLTP database:
+// N nodes, each with its own storage engine, row lock manager and executor
+// workers, connected by a simulated network with per-message latency. A
+// coordinator executes transactions through a partition-aware router, using
+// two-phase commit when a transaction spans nodes.
+//
+// The simulator reproduces the two phenomena behind the paper's numbers:
+// distributed transactions cost extra messages and roughly double the
+// aggregate per-transaction work (Fig. 1), and lock contention on hot rows
+// bounds throughput when a partition hosts too few warehouses (Fig. 6).
+// Both emerge from real locking and real message counting.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"schism/internal/storage"
+	"schism/internal/txn"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the number of shared-nothing partitions/servers.
+	Nodes int
+	// WorkersPerNode models each server's CPU parallelism: the number of
+	// requests a node processes concurrently. Default 8.
+	WorkersPerNode int
+	// NetworkDelay is the one-way message latency. Zero is allowed (tests).
+	NetworkDelay time.Duration
+	// ServiceTime is the CPU time a node spends per request (parse +
+	// execute + bookkeeping). It occupies a worker, bounding node
+	// throughput at WorkersPerNode/ServiceTime. Zero is allowed.
+	ServiceTime time.Duration
+	// LockTimeout bounds lock waits (default 5s).
+	LockTimeout time.Duration
+	// QueueDepth is the per-node request queue length (default 1024).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 8
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 5 * time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// Cluster is a running simulated database cluster.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+	clock txn.Clock
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New starts a cluster; builddb is called once per node to populate that
+// node's local database (partition-local rows plus replicated tables).
+func New(cfg Config, builddb func(node int) *storage.Database) *Cluster {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		panic("cluster: Nodes must be positive")
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		db := builddb(i)
+		if db == nil {
+			db = storage.NewDatabase()
+		}
+		c.nodes = append(c.nodes, newNode(i, cfg, db))
+	}
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns node i (tests and data loaders use this for direct access).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Close shuts down every node's workers.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, n := range c.nodes {
+		n.close()
+	}
+}
+
+// waitNet blocks until a message sent at sentAt has crossed the wire.
+func waitNet(sentAt time.Time, delay time.Duration) {
+	if delay <= 0 {
+		return
+	}
+	if d := time.Until(sentAt.Add(delay)); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// spinWait burns CPU for the given duration, modelling per-message service
+// cost as genuine processor occupancy.
+func spinWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// Stats aggregates a load run (see RunLoad).
+type Stats struct {
+	Commits      int64
+	Aborts       int64 // wait-die/timeout aborts that triggered a retry
+	Distributed  int64 // committed transactions spanning > 1 node
+	Elapsed      time.Duration
+	TotalLatency time.Duration // sum over committed transactions
+}
+
+// Throughput returns committed transactions per second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Commits) / s.Elapsed.Seconds()
+}
+
+// AvgLatency returns the mean committed-transaction latency.
+func (s Stats) AvgLatency() time.Duration {
+	if s.Commits == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Commits)
+}
+
+// DistributedFrac returns the fraction of committed transactions that were
+// distributed.
+func (s Stats) DistributedFrac() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Distributed) / float64(s.Commits)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d distributed=%.1f%% throughput=%.0f txn/s avg_latency=%v",
+		s.Commits, s.Aborts, 100*s.DistributedFrac(), s.Throughput(), s.AvgLatency())
+}

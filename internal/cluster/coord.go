@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"schism/internal/partition"
+	"schism/internal/sqlparse"
+	"schism/internal/storage"
+	"schism/internal/txn"
+)
+
+// Coordinator is the middleware layer of §5.4 / App. C.2: it parses SQL,
+// consults the partitioning strategy to find destination partitions, and
+// coordinates two-phase commit for transactions spanning nodes.
+type Coordinator struct {
+	c        *Cluster
+	strategy partition.Strategy
+}
+
+// NewCoordinator attaches a router with the given strategy to the cluster.
+// The strategy's NumPartitions must equal the cluster's node count.
+func NewCoordinator(c *Cluster, strategy partition.Strategy) *Coordinator {
+	if strategy.NumPartitions() != c.NumNodes() {
+		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d nodes",
+			strategy.NumPartitions(), c.NumNodes()))
+	}
+	return &Coordinator{c: c, strategy: strategy}
+}
+
+// Txn is a client transaction handle. Not safe for concurrent use.
+type Txn struct {
+	co      *Coordinator
+	ts      txn.TS
+	touched map[int]bool
+	failed  bool
+	rng     *rand.Rand
+}
+
+// Begin starts a transaction with a fresh wait-die timestamp.
+func (co *Coordinator) Begin() *Txn {
+	return &Txn{co: co, ts: co.c.clock.Next(), touched: make(map[int]bool), rng: rand.New(rand.NewSource(int64(co.c.clock.Next())))}
+}
+
+// reset prepares the handle for a retry, KEEPING the timestamp: wait-die
+// relies on retried transactions aging so they eventually win conflicts.
+func (t *Txn) reset() {
+	t.touched = make(map[int]bool)
+	t.failed = false
+}
+
+// Touched returns the number of nodes this transaction has accessed.
+func (t *Txn) Touched() int { return len(t.touched) }
+
+// Exec parses, routes and executes one SQL statement within the
+// transaction, returning the (unioned) result rows.
+func (t *Txn) Exec(sql string) ([]storage.Row, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return t.ExecStmt(stmt)
+}
+
+// ExecStmt executes a pre-parsed statement (hot paths avoid re-parsing).
+func (t *Txn) ExecStmt(stmt sqlparse.Statement) ([]storage.Row, error) {
+	if t.failed {
+		return nil, errors.New("cluster: transaction already failed; abort and retry")
+	}
+	switch stmt.(type) {
+	case *sqlparse.Begin:
+		return nil, nil
+	case *sqlparse.Commit:
+		return nil, t.Commit()
+	case *sqlparse.Rollback:
+		t.Abort()
+		return nil, nil
+	}
+	table, cons, routable := sqlparse.Constraints(stmt)
+	route := t.co.strategy.RouteStmt(table, cons, routable)
+	write := isWrite(stmt)
+
+	var targets []int
+	switch {
+	case write && len(route.All) > 0:
+		targets = route.All
+	case write && len(route.Single) > 0:
+		// Unconstrained write (e.g. INSERT of a brand-new tuple under a
+		// floating lookup strategy): place it at the transaction's home.
+		targets = []int{t.pickReplica(route.Single)}
+	case !write && len(route.Single) > 0:
+		targets = []int{t.pickReplica(route.Single)}
+	default:
+		targets = route.All
+	}
+	if len(targets) == 0 {
+		targets = allNodes(t.co.c.NumNodes())
+	}
+
+	resps := t.fanout(reqExec, stmt, targets)
+	var rows []storage.Row
+	for _, r := range resps {
+		if r.err != nil {
+			t.failed = true
+			return nil, r.err
+		}
+		rows = append(rows, r.rows...)
+	}
+	return rows, nil
+}
+
+// pickReplica chooses a read replica, preferring a node the transaction
+// already touched (§5.4: this reduces distributed transactions).
+func (t *Txn) pickReplica(single []int) int {
+	for _, p := range single {
+		if t.touched[p] {
+			return p
+		}
+	}
+	return single[t.rng.Intn(len(single))]
+}
+
+// fanout sends a request to each target node in parallel and waits for all
+// replies (including their simulated network delay).
+func (t *Txn) fanout(kind reqKind, stmt sqlparse.Statement, targets []int) []response {
+	type slot struct {
+		reply chan response
+	}
+	slots := make([]slot, len(targets))
+	for i, nid := range targets {
+		slots[i].reply = make(chan response, 1)
+		r := &request{kind: kind, ts: t.ts, stmt: stmt, reply: slots[i].reply}
+		t.touched[nid] = true
+		t.co.c.nodes[nid].send(r)
+	}
+	out := make([]response, len(targets))
+	for i := range slots {
+		resp := <-slots[i].reply
+		waitNet(resp.sentAt, t.co.c.cfg.NetworkDelay)
+		out[i] = resp
+	}
+	return out
+}
+
+// Commit finishes the transaction: single-node transactions commit in one
+// round; multi-node transactions run two-phase commit (prepare all, then
+// commit or abort all) as in §3.
+func (t *Txn) Commit() error {
+	if t.failed {
+		t.Abort()
+		return errors.New("cluster: commit of failed transaction")
+	}
+	nodes := touchedNodes(t.touched)
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(nodes) == 1 {
+		t.fanout(reqCommit, nil, nodes)
+		return nil
+	}
+	votes := t.fanout(reqPrepare, nil, nodes)
+	for _, v := range votes {
+		if v.err != nil {
+			t.fanout(reqAbort, nil, nodes)
+			return fmt.Errorf("cluster: participant voted no: %w", v.err)
+		}
+	}
+	t.fanout(reqCommit, nil, nodes)
+	return nil
+}
+
+// Abort rolls the transaction back on every touched node.
+func (t *Txn) Abort() {
+	nodes := touchedNodes(t.touched)
+	if len(nodes) > 0 {
+		t.fanout(reqAbort, nil, nodes)
+	}
+	t.failed = true
+}
+
+func touchedNodes(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	return out
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func isWrite(stmt sqlparse.Statement) bool {
+	switch stmt.(type) {
+	case *sqlparse.Update, *sqlparse.Insert, *sqlparse.Delete:
+		return true
+	}
+	return false
+}
+
+// Retryable reports whether an error is a concurrency-control abort that
+// the client should retry (wait-die or lock timeout).
+func Retryable(err error) bool {
+	return errors.Is(err, txn.ErrDie) || errors.Is(err, txn.ErrTimeout)
+}
+
+// RunTxn executes fn as a transaction, retrying concurrency-control aborts
+// with the same timestamp (so the retry ages and eventually wins). It
+// returns whether the committed execution was distributed and how many
+// aborts occurred.
+func (co *Coordinator) RunTxn(fn func(*Txn) error) (distributed bool, aborts int, err error) {
+	t := co.Begin()
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		ferr := fn(t)
+		if ferr == nil {
+			ferr = t.Commit()
+			if ferr == nil {
+				return len(t.touched) > 1, aborts, nil
+			}
+		} else {
+			t.Abort()
+		}
+		if !Retryable(ferr) {
+			return false, aborts, ferr
+		}
+		aborts++
+		time.Sleep(time.Duration(50+t.rng.Intn(200)) * time.Microsecond)
+		t.reset()
+	}
+	return false, aborts, fmt.Errorf("cluster: transaction starved after %d attempts", maxAttempts)
+}

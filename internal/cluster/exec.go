@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"schism/internal/datum"
+	"schism/internal/sqlparse"
+	"schism/internal/storage"
+	"schism/internal/txn"
+)
+
+// execute runs one statement under strict 2PL against the node's local
+// database. Structure latches (n.latch) protect the B+tree/indexes; row
+// locks provide transaction isolation. Locks are never awaited while a
+// latch is held.
+func (n *Node) execute(ts txn.TS, st *txnState, stmt sqlparse.Statement) response {
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		return n.execSelect(ts, s)
+	case *sqlparse.Update:
+		return n.execUpdate(ts, st, s)
+	case *sqlparse.Insert:
+		return n.execInsert(ts, st, s)
+	case *sqlparse.Delete:
+		return n.execDelete(ts, st, s)
+	default:
+		return response{err: fmt.Errorf("cluster: unsupported statement %T", stmt)}
+	}
+}
+
+// candidates finds the keys of rows possibly matching the WHERE clause,
+// using the primary key or a secondary index when the constraints allow,
+// and a full scan otherwise. Caller re-checks the predicate after locking.
+func (n *Node) candidates(tbl *storage.Table, table string, where sqlparse.Expr) []int64 {
+	n.latch.RLock()
+	defer n.latch.RUnlock()
+
+	keyCol := tbl.Schema.Key
+	var keys []int64
+	if cons, ok := constraintsOf(table, where); ok {
+		// Point/IN lookups on the primary key.
+		for _, c := range cons {
+			if c.Column != keyCol || len(c.Eq) == 0 {
+				continue
+			}
+			for _, v := range c.Eq {
+				if k, ok := v.AsInt(); ok {
+					keys = append(keys, k)
+				}
+			}
+			return dedupInt64(keys)
+		}
+		// Range on the primary key.
+		for _, c := range cons {
+			if c.Column != keyCol || (c.Lo == nil && c.Hi == nil) {
+				continue
+			}
+			lo, hi := keyRange(c)
+			tbl.Scan(lo, hi, func(k int64, _ storage.Row) bool {
+				keys = append(keys, k)
+				return true
+			})
+			return keys
+		}
+		// Secondary index equality.
+		for _, c := range cons {
+			if len(c.Eq) != 1 || !tbl.HasIndex(c.Column) {
+				continue
+			}
+			return tbl.LookupIndex(c.Column, c.Eq[0])
+		}
+	}
+	// Full scan: pre-filter with the predicate to avoid locking everything.
+	schema := tbl.Schema
+	tbl.ScanAll(func(k int64, row storage.Row) bool {
+		if evalRow(where, schema, row) {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	return keys
+}
+
+// constraintsOf wraps sqlparse.Constraints for a bare WHERE expression.
+func constraintsOf(table string, where sqlparse.Expr) ([]sqlparse.Constraint, bool) {
+	stmt := &sqlparse.Select{Table: table, Where: where, Limit: -1}
+	_, cons, ok := sqlparse.Constraints(stmt)
+	return cons, ok
+}
+
+func keyRange(c sqlparse.Constraint) (lo, hi int64) {
+	lo, hi = int64(-1<<63), int64(1<<63-1)
+	if c.Lo != nil {
+		if v, ok := c.Lo.AsInt(); ok {
+			lo = v
+			if c.LoStrict {
+				lo++
+			}
+		}
+	}
+	if c.Hi != nil {
+		if v, ok := c.Hi.AsInt(); ok {
+			hi = v
+			if c.HiStrict {
+				hi--
+			}
+		}
+	}
+	return lo, hi
+}
+
+func evalRow(where sqlparse.Expr, schema *storage.TableSchema, row storage.Row) bool {
+	return sqlparse.EvalWhere(where, func(c sqlparse.ColRef) datum.D {
+		i := schema.ColIndex(c.Column)
+		if i < 0 {
+			return datum.NullD
+		}
+		return row[i]
+	})
+}
+
+func dedupInt64(keys []int64) []int64 {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	j := 0
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			keys[j] = k
+			j++
+		}
+	}
+	return keys[:j]
+}
+
+func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select) response {
+	if s.Join != nil {
+		return response{err: fmt.Errorf("cluster: runtime joins not supported")}
+	}
+	tbl := n.db.Table(s.Table)
+	if tbl == nil {
+		return response{err: fmt.Errorf("cluster: no table %q", s.Table)}
+	}
+	mode := txn.Shared
+	if s.ForUpdate {
+		mode = txn.Exclusive
+	}
+	var rows []storage.Row
+	for _, k := range n.candidates(tbl, s.Table, s.Where) {
+		if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, mode); err != nil {
+			return response{err: err}
+		}
+		n.latch.RLock()
+		row, ok := tbl.Get(k)
+		n.latch.RUnlock()
+		if ok && evalRow(s.Where, tbl.Schema, row) {
+			rows = append(rows, projectRow(s, tbl.Schema, row))
+		}
+	}
+	if s.OrderBy != nil {
+		ci := tbl.Schema.ColIndex(s.OrderBy.Column)
+		// Projection may have reordered columns; order on the projected
+		// position when explicit columns are selected.
+		pi := projectedIndex(s, tbl.Schema, s.OrderBy.Column)
+		if pi >= 0 {
+			ci = pi
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			cmp := datum.Compare(rows[i][ci], rows[j][ci])
+			if s.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if s.Limit >= 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	return response{rows: rows, n: len(rows)}
+}
+
+// projectRow applies the SELECT column list (copying; * returns the row).
+func projectRow(s *sqlparse.Select, schema *storage.TableSchema, row storage.Row) storage.Row {
+	if len(s.Cols) == 0 {
+		return row
+	}
+	out := make(storage.Row, len(s.Cols))
+	for i, c := range s.Cols {
+		ci := schema.ColIndex(c.Column)
+		if ci >= 0 {
+			out[i] = row[ci]
+		}
+	}
+	return out
+}
+
+func projectedIndex(s *sqlparse.Select, schema *storage.TableSchema, col string) int {
+	if len(s.Cols) == 0 {
+		return schema.ColIndex(col)
+	}
+	for i, c := range s.Cols {
+		if c.Column == col {
+			return i
+		}
+	}
+	return -1
+}
+
+func (n *Node) execUpdate(ts txn.TS, st *txnState, s *sqlparse.Update) response {
+	tbl := n.db.Table(s.Table)
+	if tbl == nil {
+		return response{err: fmt.Errorf("cluster: no table %q", s.Table)}
+	}
+	count := 0
+	for _, k := range n.candidates(tbl, s.Table, s.Where) {
+		if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, txn.Exclusive); err != nil {
+			return response{err: err}
+		}
+		n.latch.Lock()
+		row, ok := tbl.Get(k)
+		if !ok || !evalRow(s.Where, tbl.Schema, row) {
+			n.latch.Unlock()
+			continue
+		}
+		newRow := row.Clone()
+		if err := applySet(s.Set, tbl.Schema, newRow); err != nil {
+			n.latch.Unlock()
+			return response{err: err}
+		}
+		st.undo = append(st.undo, undoRec{table: s.Table, key: k, oldRow: row})
+		if err := tbl.Update(k, newRow); err != nil {
+			n.latch.Unlock()
+			return response{err: err}
+		}
+		n.latch.Unlock()
+		count++
+	}
+	return response{n: count}
+}
+
+func applySet(set []sqlparse.Assignment, schema *storage.TableSchema, row storage.Row) error {
+	for _, a := range set {
+		ci := schema.ColIndex(a.Col)
+		if ci < 0 {
+			return fmt.Errorf("cluster: no column %q", a.Col)
+		}
+		if a.SelfOp == 0 {
+			row[ci] = a.Value
+			continue
+		}
+		// col = col ± v, preserving integer-ness when both sides are ints.
+		old := row[ci]
+		if old.K == datum.Int && a.Value.K == datum.Int {
+			if a.SelfOp == '+' {
+				row[ci] = datum.NewInt(old.I + a.Value.I)
+			} else {
+				row[ci] = datum.NewInt(old.I - a.Value.I)
+			}
+			continue
+		}
+		of, ok1 := old.AsFloat()
+		vf, ok2 := a.Value.AsFloat()
+		if !ok1 || !ok2 {
+			return fmt.Errorf("cluster: non-numeric self-assignment on %q", a.Col)
+		}
+		if a.SelfOp == '+' {
+			row[ci] = datum.NewFloat(of + vf)
+		} else {
+			row[ci] = datum.NewFloat(of - vf)
+		}
+	}
+	return nil
+}
+
+func (n *Node) execInsert(ts txn.TS, st *txnState, s *sqlparse.Insert) response {
+	tbl := n.db.Table(s.Table)
+	if tbl == nil {
+		return response{err: fmt.Errorf("cluster: no table %q", s.Table)}
+	}
+	schema := tbl.Schema
+	row := make(storage.Row, len(schema.Columns))
+	for i, col := range s.Cols {
+		ci := schema.ColIndex(col)
+		if ci < 0 {
+			return response{err: fmt.Errorf("cluster: no column %q", col)}
+		}
+		row[ci] = s.Values[i]
+	}
+	key, ok := row[schema.KeyIndex()].AsInt()
+	if !ok {
+		return response{err: fmt.Errorf("cluster: INSERT without integer key")}
+	}
+	if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: key}, txn.Exclusive); err != nil {
+		return response{err: err}
+	}
+	n.latch.Lock()
+	defer n.latch.Unlock()
+	if err := tbl.Insert(row); err != nil {
+		return response{err: err}
+	}
+	st.undo = append(st.undo, undoRec{table: s.Table, key: key, oldRow: nil})
+	return response{n: 1}
+}
+
+func (n *Node) execDelete(ts txn.TS, st *txnState, s *sqlparse.Delete) response {
+	tbl := n.db.Table(s.Table)
+	if tbl == nil {
+		return response{err: fmt.Errorf("cluster: no table %q", s.Table)}
+	}
+	count := 0
+	for _, k := range n.candidates(tbl, s.Table, s.Where) {
+		if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, txn.Exclusive); err != nil {
+			return response{err: err}
+		}
+		n.latch.Lock()
+		row, ok := tbl.Get(k)
+		if ok && evalRow(s.Where, tbl.Schema, row) {
+			st.undo = append(st.undo, undoRec{table: s.Table, key: k, oldRow: row})
+			tbl.Delete(k)
+			count++
+		}
+		n.latch.Unlock()
+	}
+	return response{n: count}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TxnFunc issues the statements of one logical transaction against the
+// handle. It is called again (with the same handle, after reset) when a
+// concurrency-control abort forces a retry, so it must be idempotent in
+// its side effects outside the database (e.g. re-draw randoms from rng).
+type TxnFunc func(t *Txn, rng *rand.Rand) error
+
+// RunLoad drives the coordinator with `clients` closed-loop clients for
+// the given duration (each client submits its next transaction as soon as
+// the previous one finishes, like the paper's experimental setup, §3) and
+// returns aggregate statistics.
+func RunLoad(co *Coordinator, clients int, duration time.Duration, seed int64, fn TxnFunc) Stats {
+	var (
+		commits     atomic.Int64
+		abortsTotal atomic.Int64
+		distributed atomic.Int64
+		latencyNs   atomic.Int64
+	)
+	startTime := time.Now()
+	deadline := startTime.Add(duration)
+	var wg sync.WaitGroup
+	for cidx := 0; cidx < clients; cidx++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				dist, aborts, err := co.RunTxn(func(t *Txn) error { return fn(t, rng) })
+				abortsTotal.Add(int64(aborts))
+				if err != nil {
+					continue
+				}
+				commits.Add(1)
+				if dist {
+					distributed.Add(1)
+				}
+				latencyNs.Add(int64(time.Since(start)))
+			}
+		}(cidx)
+	}
+	wg.Wait()
+	return Stats{
+		Commits:      commits.Load(),
+		Aborts:       abortsTotal.Load(),
+		Distributed:  distributed.Load(),
+		Elapsed:      time.Since(startTime),
+		TotalLatency: time.Duration(latencyNs.Load()),
+	}
+}

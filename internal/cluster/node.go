@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"schism/internal/sqlparse"
+	"schism/internal/storage"
+	"schism/internal/txn"
+)
+
+type reqKind int
+
+const (
+	reqExec reqKind = iota
+	reqPrepare
+	reqCommit
+	reqAbort
+)
+
+type request struct {
+	kind   reqKind
+	ts     txn.TS
+	stmt   sqlparse.Statement
+	sentAt time.Time
+	reply  chan response
+}
+
+type response struct {
+	rows   []storage.Row
+	n      int // rows affected for writes
+	err    error
+	sentAt time.Time
+}
+
+// Node is one shared-nothing server: a local database, a lock manager, and
+// a pool of executor workers consuming a request queue.
+type Node struct {
+	ID  int
+	cfg Config
+
+	db    *storage.Database
+	locks *txn.LockManager
+	latch sync.RWMutex // protects tree/index structure; row locks protect data
+
+	reqCh chan *request
+	wg    sync.WaitGroup
+
+	tmu  sync.Mutex
+	txns map[txn.TS]*txnState
+}
+
+// txnState is 2PC participant state for one transaction on this node.
+type txnState struct {
+	undo     []undoRec
+	prepared bool
+	doomed   bool // a statement failed; must vote no
+}
+
+type undoRec struct {
+	table  string
+	key    int64
+	oldRow storage.Row // nil means the key did not exist (undo = delete)
+}
+
+func newNode(id int, cfg Config, db *storage.Database) *Node {
+	n := &Node{
+		ID:    id,
+		cfg:   cfg,
+		db:    db,
+		locks: txn.NewLockManager(cfg.LockTimeout),
+		reqCh: make(chan *request, cfg.QueueDepth),
+		txns:  make(map[txn.TS]*txnState),
+	}
+	for w := 0; w < cfg.WorkersPerNode; w++ {
+		n.wg.Add(1)
+		go n.worker()
+	}
+	return n
+}
+
+func (n *Node) close() {
+	close(n.reqCh)
+	n.wg.Wait()
+}
+
+// DB exposes the node's local database for loading and verification.
+// Callers must not use it while a load is running.
+func (n *Node) DB() *storage.Database { return n.db }
+
+// send enqueues a request; the caller reads the reply channel.
+func (n *Node) send(r *request) {
+	r.sentAt = time.Now()
+	n.reqCh <- r
+}
+
+func (n *Node) worker() {
+	defer n.wg.Done()
+	for r := range n.reqCh {
+		// The message spends NetworkDelay on the wire...
+		waitNet(r.sentAt, n.cfg.NetworkDelay)
+		// ...then ServiceTime of this worker's attention. Busy-spin rather
+		// than sleep: service cost is CPU occupancy, and sleep granularity
+		// on some hosts (~1ms) would swamp microsecond costs.
+		if n.cfg.ServiceTime > 0 {
+			spinWait(n.cfg.ServiceTime)
+		}
+		var resp response
+		switch r.kind {
+		case reqExec:
+			resp = n.execStmt(r.ts, r.stmt)
+		case reqPrepare:
+			resp.err = n.prepare(r.ts)
+		case reqCommit:
+			n.commit(r.ts)
+		case reqAbort:
+			n.abort(r.ts)
+		}
+		resp.sentAt = time.Now()
+		r.reply <- resp
+	}
+}
+
+// state returns (creating if needed) the transaction's participant state.
+func (n *Node) state(ts txn.TS) *txnState {
+	n.tmu.Lock()
+	defer n.tmu.Unlock()
+	st := n.txns[ts]
+	if st == nil {
+		st = &txnState{}
+		n.txns[ts] = st
+	}
+	return st
+}
+
+func (n *Node) execStmt(ts txn.TS, stmt sqlparse.Statement) response {
+	st := n.state(ts)
+	if st.doomed {
+		return response{err: errors.New("cluster: transaction already failed on this node")}
+	}
+	resp := n.execute(ts, st, stmt)
+	if resp.err != nil {
+		st.doomed = true
+	}
+	return resp
+}
+
+// prepare is the 2PC vote: yes iff every statement succeeded here.
+func (n *Node) prepare(ts txn.TS) error {
+	st := n.state(ts)
+	if st.doomed {
+		return errors.New("cluster: vote no")
+	}
+	st.prepared = true
+	return nil
+}
+
+// commit makes the transaction's writes durable (they are already applied
+// in place) and releases its locks.
+func (n *Node) commit(ts txn.TS) {
+	n.tmu.Lock()
+	delete(n.txns, ts)
+	n.tmu.Unlock()
+	n.locks.ReleaseAll(ts)
+}
+
+// abort rolls back applied writes in reverse order and releases locks.
+func (n *Node) abort(ts txn.TS) {
+	n.tmu.Lock()
+	st := n.txns[ts]
+	delete(n.txns, ts)
+	n.tmu.Unlock()
+	if st != nil {
+		n.latch.Lock()
+		for i := len(st.undo) - 1; i >= 0; i-- {
+			u := st.undo[i]
+			tbl := n.db.Table(u.table)
+			if tbl == nil {
+				continue
+			}
+			if u.oldRow == nil {
+				tbl.Delete(u.key)
+			} else if _, ok := tbl.Get(u.key); ok {
+				if err := tbl.Update(u.key, u.oldRow); err != nil {
+					panic("cluster: undo failed: " + err.Error())
+				}
+			} else {
+				if err := tbl.Insert(u.oldRow); err != nil {
+					panic("cluster: undo failed: " + err.Error())
+				}
+			}
+		}
+		n.latch.Unlock()
+	}
+	n.locks.ReleaseAll(ts)
+}

@@ -1,0 +1,376 @@
+// Package core implements the Schism pipeline — the paper's contribution
+// (§2): (1) pre-process the trace into read/write sets, (2) build the
+// tuple-level workload graph, (3) min-cut partition it, (4) explain the
+// per-tuple partitioning as range predicates with a decision tree, and
+// (5) validate: pick the cheapest of {lookup tables, range predicates,
+// hash partitioning, full replication} by counting distributed
+// transactions on a held-out test trace, preferring simpler strategies on
+// ties.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"schism/internal/datum"
+	"schism/internal/graph"
+	"schism/internal/lookup"
+	"schism/internal/metis"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// Input bundles what the pipeline needs.
+type Input struct {
+	// Trace is the full captured workload; the pipeline splits it into
+	// training and testing portions.
+	Trace *workload.Trace
+	// TrainFrac is the training split (default 0.5, as the paper separates
+	// traces "into training and testing sets").
+	TrainFrac float64
+	// Resolver returns a tuple's column values (for the explanation phase
+	// and attribute-hash strategies). May be nil: explanation is skipped.
+	Resolver partition.Resolver
+	// KeyColumns maps each table to its primary-key column.
+	KeyColumns map[string]string
+	// DB, when set, lets the lookup phase cover tuples that exist but were
+	// never traced: read-mostly workloads replicate them everywhere (the
+	// paper's Epinions policy), write-heavy workloads hash-place them (the
+	// paper's "random partition"). Keys absent from the finished lookup
+	// table are then guaranteed to be NEW tuples, which float to their
+	// transaction's home partition.
+	DB *storage.Database
+}
+
+// Options tune the pipeline phases.
+type Options struct {
+	// Partitions is k, the number of target partitions. Required.
+	Partitions int
+	// Graph configures graph construction (§4.1, §5.1). Replication is ON
+	// unless DisableReplication is set.
+	Graph graph.Options
+	// DisableReplication turns off the replicated-tuple star expansion.
+	DisableReplication bool
+	// Metis configures the partitioner.
+	Metis metis.Options
+	// MinAttrFrac is the minimum fraction of a table's statements that
+	// must use an attribute for it to be a candidate (default 0.1).
+	MinAttrFrac float64
+	// TrainTuplesPerTable caps the explanation training set per table
+	// (default 5000; the paper's stress test uses 250).
+	TrainTuplesPerTable int
+	// ValidationTolerance: strategies within this absolute distributed-
+	// transaction fraction of the best are "ties" resolved by simplicity
+	// (default 0.01).
+	ValidationTolerance float64
+	// ReadMostlyWriteFrac: when the trace's write fraction is below this,
+	// tuples absent from the lookup table are replicated everywhere, as in
+	// the paper's Epinions experiment (default 0.15).
+	ReadMostlyWriteFrac float64
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinAttrFrac <= 0 {
+		o.MinAttrFrac = 0.1
+	}
+	if o.TrainTuplesPerTable <= 0 {
+		o.TrainTuplesPerTable = 5000
+	}
+	if o.ValidationTolerance <= 0 {
+		o.ValidationTolerance = 0.01
+	}
+	if o.ReadMostlyWriteFrac <= 0 {
+		o.ReadMostlyWriteFrac = 0.15
+	}
+	return o
+}
+
+// Timings records per-phase wall-clock durations (§6.2 reports these).
+type Timings struct {
+	Graph     time.Duration
+	Partition time.Duration
+	Explain   time.Duration
+	Validate  time.Duration
+}
+
+// Total sums the phases.
+func (t Timings) Total() time.Duration {
+	return t.Graph + t.Partition + t.Explain + t.Validate
+}
+
+// GraphStats reports Table-1-style graph sizes.
+type GraphStats struct {
+	Tuples int // distinct tuples represented
+	Txns   int // transactions represented (post-filtering)
+	Nodes  int
+	Edges  int
+}
+
+// Result is the pipeline output.
+type Result struct {
+	K          int
+	Stats      GraphStats
+	EdgeCut    int64
+	PartWeight []int64
+
+	// Assignments is the raw per-tuple replica-set map from the graph
+	// phase.
+	Assignments map[workload.TupleID][]int
+	// Lookup is the fine-grained strategy (always built).
+	Lookup *partition.Lookup
+	// Range is the explanation-phase strategy (nil when no explanation was
+	// found).
+	Range *partition.Range
+	// RuleStrings renders the learned rules per table for reporting, in
+	// the style of §5.2.
+	RuleStrings map[string][]string
+
+	// Costs maps strategy name -> measured cost on the test trace.
+	// Keys: "lookup-table", "range-predicates", "hashing", "replication".
+	Costs map[string]partition.Cost
+	// Chosen is the validation phase's pick.
+	Chosen     partition.Strategy
+	ChosenName string
+
+	Timings Timings
+}
+
+// Run executes the full pipeline.
+func Run(in Input, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	k := opts.Partitions
+	if k < 1 {
+		return nil, fmt.Errorf("core: Partitions must be >= 1")
+	}
+	if in.Trace == nil || in.Trace.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	if in.TrainFrac <= 0 || in.TrainFrac >= 1 {
+		in.TrainFrac = 0.5
+	}
+	train, test := in.Trace.Split(in.TrainFrac)
+	if test.Len() == 0 {
+		test = train
+	}
+
+	res := &Result{K: k, Costs: make(map[string]partition.Cost), RuleStrings: make(map[string][]string)}
+
+	// Phase 1+2: read/write sets are already explicit in the trace model;
+	// build the graph.
+	gopts := opts.Graph
+	gopts.Replication = !opts.DisableReplication
+	if gopts.Seed == 0 {
+		gopts.Seed = opts.Seed
+	}
+	t0 := time.Now()
+	g := graph.Build(train, gopts)
+	res.Timings.Graph = time.Since(t0)
+	res.Stats = GraphStats{
+		Tuples: len(g.TupleGroup),
+		Txns:   g.Trace.Len(),
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+	}
+
+	// Phase 3: min-cut partitioning.
+	mopts := opts.Metis
+	if mopts.Seed == 0 {
+		mopts.Seed = opts.Seed
+	}
+	t0 = time.Now()
+	parts, cut, err := g.Partition(k, mopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning failed: %w", err)
+	}
+	res.Timings.Partition = time.Since(t0)
+	res.EdgeCut = cut
+	res.PartWeight = g.CSR.PartWeights(parts, k)
+	res.Assignments = g.Assignments(parts)
+
+	// Fine-grained lookup strategy from the raw assignments.
+	stats := workload.ComputeStats(train)
+	writeFrac := writeFraction(train)
+	readMostly := writeFrac < opts.ReadMostlyWriteFrac
+	res.Lookup = buildLookup(res.Assignments, k, in, readMostly)
+
+	// Phase 4: explanation.
+	t0 = time.Now()
+	if in.Resolver != nil {
+		res.Range = explain(res, train, in, opts, stats)
+		if res.Range != nil && !balanced(res.Range, res.Assignments, in.Resolver, k) {
+			// §4.3 condition (ii): an explanation that funnels the load
+			// onto few partitions degrades the graph solution; discard it.
+			res.Range = nil
+			res.RuleStrings = map[string][]string{}
+		}
+	}
+	res.Timings.Explain = time.Since(t0)
+
+	// Phase 5: validation on the held-out trace.
+	t0 = time.Now()
+	candidates := []partition.Strategy{res.Lookup}
+	if res.Range != nil {
+		candidates = append(candidates, res.Range)
+	}
+	candidates = append(candidates,
+		&partition.Hash{K: k, KeyColumn: in.KeyColumns},
+		&partition.FullReplication{K: k},
+	)
+	var chosen partition.Strategy
+	var bestFrac float64
+	for _, s := range candidates {
+		c := partition.Evaluate(test, s, in.Resolver)
+		res.Costs[s.Name()] = c
+		if chosen == nil || c.DistributedFrac() < bestFrac {
+			chosen = s
+			bestFrac = c.DistributedFrac()
+		}
+	}
+	// Tie-break: any candidate within tolerance of the best wins if it is
+	// simpler (§4.4).
+	for _, s := range candidates {
+		c := res.Costs[s.Name()]
+		if c.DistributedFrac() <= bestFrac+opts.ValidationTolerance && s.Complexity() < chosen.Complexity() {
+			chosen = s
+		}
+	}
+	res.Chosen = chosen
+	res.ChosenName = chosen.Name()
+	res.Timings.Validate = time.Since(t0)
+	return res, nil
+}
+
+// balanced checks that the explained strategy spreads the graph's tuples
+// acceptably: no partition may hold more than twice its fair share
+// (replicated tuples count toward every replica).
+func balanced(r *partition.Range, asg map[workload.TupleID][]int, resolve partition.Resolver, k int) bool {
+	if k <= 1 {
+		return true
+	}
+	load := make([]int64, k)
+	var total int64
+	for id := range asg {
+		for _, p := range r.Locate(id, resolve(id)) {
+			if p >= 0 && p < k {
+				load[p]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return true
+	}
+	limit := 2 * total / int64(k)
+	for _, l := range load {
+		if l > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// writeFraction is the fraction of transactions performing any write.
+func writeFraction(tr *workload.Trace) float64 {
+	if tr.Len() == 0 {
+		return 0
+	}
+	w := 0
+	for _, t := range tr.Txns {
+		if !t.ReadOnly() {
+			w++
+		}
+	}
+	return float64(w) / float64(tr.Len())
+}
+
+// buildLookup turns per-tuple assignments into per-table lookup tables.
+// Traced tuples get the graph's placement. With a database available,
+// existing-but-untraced tuples are also covered (replicate-everywhere for
+// read-mostly workloads, hash placement otherwise) and the strategy is
+// marked Floating: unknown keys are new tuples that follow their
+// transaction. Without a database, the untraced default applies to every
+// unknown key instead.
+func buildLookup(asg map[workload.TupleID][]int, k int, in Input, readMostly bool) *partition.Lookup {
+	tables := make(map[string]lookup.Table)
+	get := func(name string) lookup.Table {
+		t, ok := tables[name]
+		if !ok {
+			t = lookup.NewHashIndex()
+			tables[name] = t
+		}
+		return t
+	}
+	for id, parts := range asg {
+		get(id.Table).Set(id.Key, parts)
+	}
+	out := &partition.Lookup{K: k, Tables: tables, KeyColumn: in.KeyColumns}
+	if in.DB == nil {
+		if readMostly {
+			out.Default = allParts(k)
+		}
+		return out
+	}
+	all := allParts(k)
+	for _, name := range in.DB.TableNames() {
+		t := get(name)
+		in.DB.Table(name).ScanAll(func(key int64, _ storage.Row) bool {
+			if _, ok := t.Locate(key); !ok {
+				if readMostly {
+					t.Set(key, all)
+				} else {
+					t.Set(key, []int{int(datum.Hash(datum.NewInt(key)) % uint64(k))})
+				}
+			}
+			return true
+		})
+	}
+	out.Floating = true
+	return out
+}
+
+func allParts(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Report renders a Fig. 4-style summary.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "partitions=%d graph: %d tuples, %d txns, %d nodes, %d edges, cut=%d\n",
+		r.K, r.Stats.Tuples, r.Stats.Txns, r.Stats.Nodes, r.Stats.Edges, r.EdgeCut)
+	names := make([]string, 0, len(r.Costs))
+	for n := range r.Costs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := r.Costs[n]
+		marker := "  "
+		if n == r.ChosenName {
+			marker = "->"
+		}
+		fmt.Fprintf(&sb, "%s %-18s %6.2f%% distributed (%d/%d)\n", marker, n, 100*c.DistributedFrac(), c.Distributed, c.Total)
+	}
+	tables := make([]string, 0, len(r.RuleStrings))
+	for t := range r.RuleStrings {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		fmt.Fprintf(&sb, "rules[%s]:\n", t)
+		for _, rule := range r.RuleStrings[t] {
+			fmt.Fprintf(&sb, "  %s\n", rule)
+		}
+	}
+	fmt.Fprintf(&sb, "time: graph=%v partition=%v explain=%v validate=%v\n",
+		r.Timings.Graph, r.Timings.Partition, r.Timings.Explain, r.Timings.Validate)
+	return sb.String()
+}

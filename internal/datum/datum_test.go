@@ -1,0 +1,108 @@
+package datum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	for _, tc := range []struct {
+		a, b D
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.0), 0},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewString("a"), NewString("b"), -1},
+		{NullD, NewInt(0), -1},
+		{NewInt(0), NewString(""), -1},
+		{NullD, NullD, 0},
+	} {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	if Hash(NewInt(42)) != Hash(NewFloat(42.0)) {
+		t.Error("42 and 42.0 are Equal but hash differently")
+	}
+	if Hash(NewString("x")) == Hash(NewString("y")) {
+		t.Error("distinct strings collide (suspicious)")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Error("int AsFloat")
+	}
+	if i, ok := NewFloat(3.9).AsInt(); !ok || i != 3 {
+		t.Error("float AsInt should truncate")
+	}
+	if _, ok := NewString("z").AsFloat(); ok {
+		t.Error("string AsFloat must fail")
+	}
+	if _, ok := NullD.AsInt(); ok {
+		t.Error("null AsInt must fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	for _, tc := range []struct {
+		d    D
+		want string
+	}{
+		{NewInt(-7), "-7"},
+		{NewString("hi"), "'hi'"},
+		{NullD, "NULL"},
+	} {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("%v.String() = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	if NewInt(1).Size() != 8 {
+		t.Error("int size")
+	}
+	if NewString("abcd").Size() != 20 {
+		t.Error("string size should be 16+len")
+	}
+}
+
+// Properties: Compare is antisymmetric and Equal implies equal hashes.
+func TestCompareProperties(t *testing.T) {
+	mk := func(kind uint8, i int64, s string) D {
+		switch kind % 4 {
+		case 0:
+			return NullD
+		case 1:
+			return NewInt(i)
+		case 2:
+			return NewFloat(float64(i) / 2)
+		default:
+			return NewString(s)
+		}
+	}
+	anti := func(k1, k2 uint8, i1, i2 int64, s1, s2 string) bool {
+		a, b := mk(k1, i1, s1), mk(k2, i2, s2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+	hashEq := func(k1, k2 uint8, i1, i2 int64, s1, s2 string) bool {
+		a, b := mk(k1, i1, s1), mk(k2, i2, s2)
+		if Equal(a, b) {
+			return Hash(a) == Hash(b)
+		}
+		return true
+	}
+	if err := quick.Check(hashEq, nil); err != nil {
+		t.Error(err)
+	}
+}

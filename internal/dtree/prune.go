@@ -1,0 +1,84 @@
+package dtree
+
+import "math"
+
+// prune applies C4.5's pessimistic subtree replacement: a subtree is
+// collapsed into a leaf when the leaf's estimated (upper-confidence-bound)
+// error is no worse than the sum of its children's estimates.
+func prune(n *node, confidence float64) {
+	if n.leaf {
+		return
+	}
+	prune(n.left, confidence)
+	prune(n.right, confidence)
+	subtreeErr := estimatedSubtreeError(n, confidence)
+	leafErr := pessimisticError(n.dist, confidence)
+	if leafErr <= subtreeErr+1e-9 {
+		n.leaf = true
+		n.left, n.right = nil, nil
+		n.label = argmax(n.dist)
+	}
+}
+
+func estimatedSubtreeError(n *node, confidence float64) float64 {
+	if n.leaf {
+		return pessimisticError(n.dist, confidence)
+	}
+	return estimatedSubtreeError(n.left, confidence) + estimatedSubtreeError(n.right, confidence)
+}
+
+// pessimisticError is N times the upper confidence limit of the binomial
+// error rate at a node: C4.5's error estimate. With e observed errors in n
+// instances, the estimate is the p solving P(Binomial(n,p) <= e) = CF
+// (e.g. U(0, 2, 0.25) = 0.5, U(0, 6, 0.25) ≈ 0.206).
+func pessimisticError(dist []int, confidence float64) float64 {
+	n := sum(dist)
+	if n == 0 {
+		return 0
+	}
+	errs := n - dist[argmax(dist)]
+	return float64(n) * binomialUpperLimit(errs, n, confidence)
+}
+
+// binomialUpperLimit finds p in [e/n, 1] with binomCDF(e; n, p) = cf by
+// bisection (the CDF is strictly decreasing in p).
+func binomialUpperLimit(e, n int, cf float64) float64 {
+	if e >= n {
+		return 1
+	}
+	lo := float64(e) / float64(n)
+	hi := 1.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if binomCDF(e, n, mid) > cf {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// binomCDF computes P(X <= e) for X ~ Binomial(n, p), summing terms in log
+// space for numerical stability.
+func binomCDF(e, n int, p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	lgN, _ := math.Lgamma(float64(n + 1))
+	logP := math.Log(p)
+	logQ := math.Log(1 - p)
+	total := 0.0
+	for i := 0; i <= e; i++ {
+		lgI, _ := math.Lgamma(float64(i + 1))
+		lgNI, _ := math.Lgamma(float64(n - i + 1))
+		total += math.Exp(lgN - lgI - lgNI + float64(i)*logP + float64(n-i)*logQ)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"schism/internal/cluster"
+	"schism/internal/storage"
+	"schism/internal/workloads"
+)
+
+// Fig6Row is one point of Figure 6: TPC-C throughput at a partition count
+// under the two scaling configurations.
+type Fig6Row struct {
+	Partitions int
+	// FixedTotalTPS: 16 warehouses spread over the cluster (scale-out of a
+	// fixed database; contention grows as warehouses/machine shrinks).
+	FixedTotalTPS float64
+	// PerMachineTPS: 16 warehouses PER machine (scale-out by growing the
+	// database with the hardware; near-linear in the paper).
+	PerMachineTPS float64
+}
+
+// Fig6Config parameterises the end-to-end experiment.
+type Fig6Config struct {
+	WarehousesFixed int // total warehouses in config 1 (paper: 16)
+	WarehousesPer   int // warehouses per machine in config 2 (paper: 16)
+	ClientsPerNode  int
+	Duration        time.Duration
+	ServiceTime     time.Duration
+	NetworkDelay    time.Duration
+	Partitions      []int // paper: 1, 2, 4, 8
+}
+
+func (c Fig6Config) withDefaults(s Scale) Fig6Config {
+	if c.WarehousesFixed <= 0 {
+		c.WarehousesFixed = 16
+	}
+	if c.WarehousesPer <= 0 {
+		c.WarehousesPer = 16
+	}
+	if c.ClientsPerNode <= 0 {
+		c.ClientsPerNode = s.scaled(48, 16)
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Duration(s.scaled(800, 200)) * time.Millisecond
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 10 * time.Microsecond
+	}
+	if c.NetworkDelay <= 0 {
+		// Statement round-trips dominate transaction duration (as with the
+		// paper's real network); lock hold times, and therefore the hot-row
+		// contention that limits the fixed-16-warehouse series, scale with
+		// this delay.
+		c.NetworkDelay = 300 * time.Microsecond
+	}
+	if len(c.Partitions) == 0 {
+		c.Partitions = []int{1, 2, 4, 8}
+	}
+	return c
+}
+
+// Fig6 runs TPC-C end-to-end through the cluster with the Schism-derived
+// warehouse partitioning (identical to the rules the pipeline learns; see
+// TestTPCCExplanation). The fixed-16-warehouse series saturates on
+// warehouse/district lock contention as warehouses-per-machine shrinks;
+// the 16-per-machine series scales near-linearly (§6.3).
+func Fig6(cfg Fig6Config, s Scale) []Fig6Row {
+	cfg = cfg.withDefaults(s)
+	var rows []Fig6Row
+	for _, k := range cfg.Partitions {
+		rows = append(rows, Fig6Row{
+			Partitions:    k,
+			FixedTotalTPS: fig6Run(cfg, s, k, cfg.WarehousesFixed),
+			PerMachineTPS: fig6Run(cfg, s, k, cfg.WarehousesPer*k),
+		})
+	}
+	return rows
+}
+
+// fig6Run measures throughput for one cluster size and warehouse count.
+func fig6Run(cfg Fig6Config, s Scale, k, warehouses int) float64 {
+	tcfg := workloads.TPCCConfig{
+		Warehouses: warehouses,
+		Customers:  s.scaled(60, 20),
+		Items:      s.scaled(500, 100),
+		// Small initial order backlog keeps population fast.
+		InitialOrders: 5,
+		Seed:          13,
+	}
+	strat := workloads.TPCCManual(tcfg, k)
+	c := cluster.New(cluster.Config{
+		Nodes:          k,
+		WorkersPerNode: 8,
+		ServiceTime:    cfg.ServiceTime,
+		NetworkDelay:   cfg.NetworkDelay,
+		LockTimeout:    5 * time.Second,
+	}, func(node int) *storage.Database {
+		db := storage.NewDatabase()
+		wLo := node*warehouses/k + 1
+		wHi := (node + 1) * warehouses / k
+		workloads.TPCCPopulate(db, tcfg, wLo, wHi, true)
+		return db
+	})
+	defer c.Close()
+	co := cluster.NewCoordinator(c, strat)
+	// NewOrder+Payment mix: the throughput-dominant write transactions
+	// whose warehouse/district row locks produce the paper's contention
+	// bottleneck (§6.3 reports "nearly all transactions conflict" at 2
+	// warehouses per machine). Client count saturates each configuration
+	// without overloading it: beyond ~2 clients per warehouse the
+	// closed-loop workload collapses into wait-die retry storms, which is
+	// the same effect that keeps the paper from saturating single machines
+	// at 2 warehouses each.
+	clients := cfg.ClientsPerNode * k
+	if cap := 2 * warehouses; clients > cap {
+		clients = cap
+	}
+	stats := cluster.RunLoad(co, clients, cfg.Duration, 17, workloads.TPCCNewOrderPaymentTxn(tcfg))
+	return stats.Throughput()
+}
+
+// PrintFig6 renders the Fig. 6 series with speedup factors.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6: TPC-C throughput scaling (txns/s)")
+	var base1, base2 float64
+	var out [][]string
+	for i, r := range rows {
+		if i == 0 {
+			base1, base2 = r.FixedTotalTPS, r.PerMachineTPS
+		}
+		su1, su2 := "-", "-"
+		if base1 > 0 {
+			su1 = fmt.Sprintf("%.1fx", r.FixedTotalTPS/base1)
+		}
+		if base2 > 0 {
+			su2 = fmt.Sprintf("%.1fx", r.PerMachineTPS/base2)
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Partitions),
+			fmt.Sprintf("%.0f", r.FixedTotalTPS),
+			su1,
+			fmt.Sprintf("%.0f", r.PerMachineTPS),
+			su2,
+		})
+	}
+	table(w, []string{"partitions", "16wh total tps", "speedup", "16wh/machine tps", "speedup"}, out)
+}

@@ -1,0 +1,370 @@
+// Package graph builds the Schism workload graph (§4.1): one node per
+// tuple (or per coalesced tuple group), clique edges between tuples
+// co-accessed by a transaction, and optional star-shaped replication
+// expansion that lets the min-cut partitioner trade replication against
+// distributed transactions.
+//
+// The package also implements the §5.1 graph-size heuristics: transaction-
+// and tuple-level sampling, blanket-statement filtering, relevance
+// filtering, star-shaped replication, and tuple coalescing.
+package graph
+
+import (
+	"math/rand"
+	"sort"
+
+	"schism/internal/metis"
+	"schism/internal/workload"
+)
+
+// WeightMode selects how node weights (the balance metric) are assigned.
+type WeightMode int
+
+const (
+	// WorkloadWeight balances the number of tuple accesses per partition
+	// (node weight = transactions touching the tuple).
+	WorkloadWeight WeightMode = iota
+	// DataSizeWeight balances bytes per partition (node weight = tuple
+	// size; requires Options.TupleSize).
+	DataSizeWeight
+)
+
+// EdgeMode selects how a transaction's access set becomes edges (App. B).
+type EdgeMode int
+
+const (
+	// CliqueEdges connects every pair of tuples in the transaction — the
+	// representation the paper selected.
+	CliqueEdges EdgeMode = iota
+	// StarEdges connects the first tuple to each other tuple — the cheaper
+	// hyperedge approximation kept for ablation.
+	StarEdges
+)
+
+// Options configure graph construction.
+type Options struct {
+	// Replication enables the star-shaped replicated-tuple expansion
+	// (Fig. 3). A tuple accessed by n >= 2 transactions becomes n replica
+	// nodes around a centre node; replication edges weigh the tuple's
+	// update count.
+	Replication bool
+	// Weights selects the balance metric (§4.1).
+	Weights WeightMode
+	// TxnEdges selects clique or star transaction edges (App. B).
+	TxnEdges EdgeMode
+	// TxnSampleRate keeps each transaction with this probability;
+	// values <= 0 or >= 1 disable transaction sampling.
+	TxnSampleRate float64
+	// TupleSampleRate keeps each tuple with this probability;
+	// values <= 0 or >= 1 disable tuple sampling.
+	TupleSampleRate float64
+	// BlanketMaxTuples drops transactions touching more than this many
+	// tuples (blanket-statement filtering); 0 disables.
+	BlanketMaxTuples int
+	// MinAccesses drops tuples accessed fewer than this many times
+	// (relevance filtering); values <= 1 disable.
+	MinAccesses int
+	// Coalesce merges tuples that are always accessed together by exactly
+	// the same transactions into a single node (lossless).
+	Coalesce bool
+	// TupleSize returns a tuple's size in bytes for DataSizeWeight;
+	// nil means every tuple weighs 1.
+	TupleSize func(workload.TupleID) int64
+	// Seed drives sampling decisions.
+	Seed int64
+}
+
+// Node describes what one graph node represents.
+type Node struct {
+	// Group indexes Graph.GroupTuples.
+	Group int32
+	// Center marks the hub of a replication star.
+	Center bool
+	// Txn is the trace index of the transaction this replica serves,
+	// or -1 for centre and unexploded nodes.
+	Txn int32
+}
+
+// Graph is the built workload graph plus the metadata needed to translate a
+// node partitioning back into a tuple placement.
+type Graph struct {
+	// CSR is the partitioner input.
+	CSR *metis.Graph
+	// Nodes maps node id -> provenance.
+	Nodes []Node
+	// GroupTuples lists the member tuples of each coalesced group.
+	GroupTuples [][]workload.TupleID
+	// TupleGroup maps each represented tuple to its group.
+	TupleGroup map[workload.TupleID]int32
+	// Trace is the post-filtering trace the graph represents.
+	Trace *workload.Trace
+	// Stats are access statistics over Trace.
+	Stats *workload.Stats
+	// Opts echoes the options used.
+	Opts Options
+
+	// groupBase[g] is the first node id of group g; exploded groups occupy
+	// groupBase[g] (centre) through groupBase[g]+len(accessors).
+	groupBase []int32
+	// groupTxnNode maps group -> accessing txn id -> node id. Nil for
+	// unexploded groups (whose single node serves every transaction).
+	groupTxnNode []map[int32]int32
+}
+
+// groupAccess records which transactions touch a group and how.
+type groupAccess struct {
+	txns   []int32 // trace indexes, in first-access order
+	writes map[int32]bool
+}
+
+// Build constructs the workload graph for a trace.
+func Build(tr *workload.Trace, opts Options) *Graph {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// §5.1 heuristics, applied in trace space first.
+	if opts.BlanketMaxTuples > 0 {
+		tr = workload.FilterBlanket(tr, opts.BlanketMaxTuples)
+	}
+	if opts.TxnSampleRate > 0 && opts.TxnSampleRate < 1 {
+		tr = workload.SampleTxns(tr, opts.TxnSampleRate, rng)
+	}
+	if opts.TupleSampleRate > 0 && opts.TupleSampleRate < 1 {
+		tr = workload.SampleTuples(tr, opts.TupleSampleRate, rng)
+	}
+	if opts.MinAccesses > 1 {
+		tr = workload.FilterRelevance(tr, opts.MinAccesses)
+	}
+	stats := workload.ComputeStats(tr)
+
+	g := &Graph{
+		Trace:      tr,
+		Stats:      stats,
+		Opts:       opts,
+		TupleGroup: make(map[workload.TupleID]int32),
+	}
+
+	// Group tuples. With coalescing, tuples sharing an identical access
+	// signature (same transactions, same read/write modes) share a group.
+	type tupleSig struct {
+		tuples []workload.TupleID
+		access *groupAccess
+	}
+	sigOf := make(map[workload.TupleID]*groupAccess)
+	// Collect per-tuple access lists in deterministic trace order.
+	for ti, t := range tr.Txns {
+		seenHere := make(map[workload.TupleID]bool)
+		for _, a := range t.Accesses {
+			ga := sigOf[a.Tuple]
+			if ga == nil {
+				ga = &groupAccess{writes: make(map[int32]bool)}
+				sigOf[a.Tuple] = ga
+			}
+			if !seenHere[a.Tuple] {
+				seenHere[a.Tuple] = true
+				ga.txns = append(ga.txns, int32(ti))
+			}
+			if a.Write {
+				ga.writes[int32(ti)] = true
+			}
+		}
+	}
+	var groups []*tupleSig
+	if opts.Coalesce {
+		bySig := make(map[string]int)
+		for _, t := range tr.Txns {
+			for _, a := range t.Accesses {
+				id := a.Tuple
+				if _, done := g.TupleGroup[id]; done {
+					continue
+				}
+				key := signatureKey(sigOf[id])
+				gi, ok := bySig[key]
+				if !ok {
+					gi = len(groups)
+					bySig[key] = gi
+					groups = append(groups, &tupleSig{access: sigOf[id]})
+				}
+				groups[gi].tuples = append(groups[gi].tuples, id)
+				g.TupleGroup[id] = int32(gi)
+			}
+		}
+	} else {
+		for _, t := range tr.Txns {
+			for _, a := range t.Accesses {
+				id := a.Tuple
+				if _, done := g.TupleGroup[id]; done {
+					continue
+				}
+				g.TupleGroup[id] = int32(len(groups))
+				groups = append(groups, &tupleSig{tuples: []workload.TupleID{id}, access: sigOf[id]})
+			}
+		}
+	}
+	g.GroupTuples = make([][]workload.TupleID, len(groups))
+	for i, grp := range groups {
+		g.GroupTuples[i] = grp.tuples
+	}
+
+	// Lay out nodes.
+	g.groupBase = make([]int32, len(groups))
+	g.groupTxnNode = make([]map[int32]int32, len(groups))
+	var numNodes int32
+	for gi, grp := range groups {
+		g.groupBase[gi] = numNodes
+		if opts.Replication && len(grp.access.txns) >= 2 {
+			m := make(map[int32]int32, len(grp.access.txns))
+			for ri, ti := range grp.access.txns {
+				m[ti] = numNodes + 1 + int32(ri)
+			}
+			g.groupTxnNode[gi] = m
+			numNodes += int32(len(grp.access.txns)) + 1
+		} else {
+			numNodes++
+		}
+	}
+
+	// Node metadata and weights.
+	g.Nodes = make([]Node, numNodes)
+	nwgt := make([]int64, numNodes)
+	sizeOf := func(gi int) int64 {
+		var sz int64
+		for _, id := range groups[gi].tuples {
+			if opts.TupleSize != nil {
+				sz += opts.TupleSize(id)
+			} else {
+				sz++
+			}
+		}
+		return sz
+	}
+	for gi, grp := range groups {
+		base := g.groupBase[gi]
+		if g.groupTxnNode[gi] != nil {
+			g.Nodes[base] = Node{Group: int32(gi), Center: true, Txn: -1}
+			nwgt[base] = 0
+			for ri, ti := range grp.access.txns {
+				node := base + 1 + int32(ri)
+				g.Nodes[node] = Node{Group: int32(gi), Txn: ti}
+				switch opts.Weights {
+				case DataSizeWeight:
+					nwgt[node] = sizeOf(gi)
+				default:
+					nwgt[node] = int64(len(grp.tuples))
+				}
+			}
+		} else {
+			g.Nodes[base] = Node{Group: int32(gi), Txn: -1}
+			switch opts.Weights {
+			case DataSizeWeight:
+				nwgt[base] = sizeOf(gi)
+			default:
+				nwgt[base] = int64(len(grp.access.txns)) * int64(len(grp.tuples))
+			}
+		}
+	}
+
+	// Edges.
+	var edges []metis.BuilderEdge
+	nodeFor := func(gi int32, ti int32) int32 {
+		if m := g.groupTxnNode[gi]; m != nil {
+			return m[ti]
+		}
+		return g.groupBase[gi]
+	}
+	for ti, t := range tr.Txns {
+		// Distinct groups accessed by this transaction, in access order.
+		var members []int32
+		seen := make(map[int32]bool)
+		for _, a := range t.Accesses {
+			gi := g.TupleGroup[a.Tuple]
+			if !seen[gi] {
+				seen[gi] = true
+				members = append(members, gi)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		switch opts.TxnEdges {
+		case StarEdges:
+			hub := nodeFor(members[0], int32(ti))
+			for _, gi := range members[1:] {
+				edges = append(edges, metis.BuilderEdge{U: hub, V: nodeFor(gi, int32(ti)), Weight: 1})
+			}
+		default:
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					edges = append(edges, metis.BuilderEdge{
+						U: nodeFor(members[i], int32(ti)), V: nodeFor(members[j], int32(ti)), Weight: 1,
+					})
+				}
+			}
+		}
+	}
+	// Replication edges: centre—replica, weighted by the group's update
+	// count (the cost of keeping that replica in a different partition).
+	for gi, grp := range groups {
+		m := g.groupTxnNode[gi]
+		if m == nil {
+			continue
+		}
+		updates := int64(len(grp.access.writes))
+		base := g.groupBase[gi]
+		for ri := range grp.access.txns {
+			edges = append(edges, metis.BuilderEdge{U: base, V: base + 1 + int32(ri), Weight: updates})
+		}
+	}
+	g.CSR = metis.NewGraph(int(numNodes), edges, nwgt)
+	return g
+}
+
+// signatureKey serialises a group access pattern for coalescing.
+func signatureKey(ga *groupAccess) string {
+	buf := make([]byte, 0, len(ga.txns)*6)
+	for _, ti := range ga.txns {
+		buf = append(buf, byte(ti), byte(ti>>8), byte(ti>>16), byte(ti>>24))
+		if ga.writes[ti] {
+			buf = append(buf, 'w')
+		} else {
+			buf = append(buf, 'r')
+		}
+	}
+	return string(buf)
+}
+
+// Partition runs the min-cut partitioner over the graph.
+func (g *Graph) Partition(k int, opts metis.Options) ([]int32, int64, error) {
+	return metis.PartKway(g.CSR, k, opts)
+}
+
+// Assignments translates a node partitioning into per-tuple replica sets:
+// for an exploded tuple, the distinct partitions of its replica nodes; for
+// a plain tuple, its single node's partition. Partition lists are sorted.
+func (g *Graph) Assignments(parts []int32) map[workload.TupleID][]int {
+	out := make(map[workload.TupleID][]int, len(g.TupleGroup))
+	for gi, tuples := range g.GroupTuples {
+		var set []int
+		if m := g.groupTxnNode[gi]; m != nil {
+			seen := make(map[int32]bool)
+			for _, node := range m {
+				p := parts[node]
+				if !seen[p] {
+					seen[p] = true
+					set = append(set, int(p))
+				}
+			}
+		} else {
+			set = []int{int(parts[g.groupBase[gi]])}
+		}
+		sort.Ints(set)
+		for _, id := range tuples {
+			out[id] = set
+		}
+	}
+	return out
+}
+
+// NumNodes returns the number of graph nodes (Table 1 "Nodes").
+func (g *Graph) NumNodes() int { return g.CSR.NumNodes() }
+
+// NumEdges returns the number of distinct undirected edges (Table 1 "Edges").
+func (g *Graph) NumEdges() int { return g.CSR.NumEdges() }

@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"testing"
+
+	"schism/internal/metis"
+	"schism/internal/workload"
+)
+
+// bankTrace reconstructs the paper's running example (Figures 2 and 3):
+// an account table with five tuples and four transactions.
+func bankTrace() *workload.Trace {
+	acct := func(id int64) workload.TupleID { return workload.TupleID{Table: "account", Key: id} }
+	tr := workload.NewTrace()
+	// T0: transfer carlo(1) -> evan(2): writes both.
+	tr.Add([]workload.Access{{Tuple: acct(1), Write: true}, {Tuple: acct(2), Write: true}})
+	// T1: UPDATE ... WHERE bal < 100k: writes 1 (80k), 2 (60k), 4 (29k), 5 (12k).
+	tr.Add([]workload.Access{
+		{Tuple: acct(1), Write: true}, {Tuple: acct(2), Write: true},
+		{Tuple: acct(4), Write: true}, {Tuple: acct(5), Write: true},
+	})
+	// T2: SELECT WHERE id IN {1,3} (aborted, but still traced): reads 1, 3.
+	tr.Add([]workload.Access{{Tuple: acct(1)}, {Tuple: acct(3)}})
+	// T3: UPDATE id=2; SELECT id=5.
+	tr.Add([]workload.Access{{Tuple: acct(2), Write: true}, {Tuple: acct(5)}})
+	return tr
+}
+
+func TestBuildBasicGraph(t *testing.T) {
+	g := Build(bankTrace(), Options{})
+	if got := g.NumNodes(); got != 5 {
+		t.Fatalf("NumNodes = %d, want 5 (one per tuple)", got)
+	}
+	if err := g.CSR.Validate(); err != nil {
+		t.Fatalf("invalid CSR: %v", err)
+	}
+	// Edge {1,2} is co-accessed by T0 and T1 -> weight 2.
+	n1 := g.TupleGroup[workload.TupleID{Table: "account", Key: 1}]
+	n2 := g.TupleGroup[workload.TupleID{Table: "account", Key: 2}]
+	w := edgeWeightBetween(g.CSR, g.groupBase[n1], g.groupBase[n2])
+	if w != 2 {
+		t.Errorf("edge weight(1,2) = %d, want 2", w)
+	}
+}
+
+func edgeWeightBetween(g *metis.Graph, u, v int32) int64 {
+	for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+		if g.Adj[j] == v {
+			return g.EWgt[j]
+		}
+	}
+	return 0
+}
+
+func TestBuildReplicationStar(t *testing.T) {
+	g := Build(bankTrace(), Options{Replication: true})
+	// Tuple 1 is accessed by three transactions (T0, T1, T2) and written by
+	// two (T0, T1): it must explode into 3 replicas + 1 centre, and the
+	// replication edges must weigh 2 (Fig. 3).
+	id1 := workload.TupleID{Table: "account", Key: 1}
+	gi := g.TupleGroup[id1]
+	if g.groupTxnNode[gi] == nil {
+		t.Fatal("tuple 1 was not exploded")
+	}
+	if got := len(g.groupTxnNode[gi]); got != 3 {
+		t.Fatalf("tuple 1 replicas = %d, want 3", got)
+	}
+	base := g.groupBase[gi]
+	if !g.Nodes[base].Center {
+		t.Fatal("groupBase must be the centre node")
+	}
+	for ri := int32(1); ri <= 3; ri++ {
+		if w := edgeWeightBetween(g.CSR, base, base+ri); w != 2 {
+			t.Errorf("replication edge weight = %d, want 2", w)
+		}
+	}
+	// Tuple 3 is accessed by exactly one transaction: never exploded.
+	id3 := workload.TupleID{Table: "account", Key: 3}
+	if g.groupTxnNode[g.TupleGroup[id3]] != nil {
+		t.Error("tuple 3 should not be exploded")
+	}
+	if err := g.CSR.Validate(); err != nil {
+		t.Fatalf("invalid CSR: %v", err)
+	}
+}
+
+func TestAssignmentsWithoutReplication(t *testing.T) {
+	g := Build(bankTrace(), Options{})
+	parts, _, err := g.Partition(2, metis.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := g.Assignments(parts)
+	if len(asg) != 5 {
+		t.Fatalf("assignments cover %d tuples, want 5", len(asg))
+	}
+	for id, ps := range asg {
+		if len(ps) != 1 {
+			t.Errorf("%v assigned to %v; want exactly one partition without replication", id, ps)
+		}
+	}
+}
+
+func TestAssignmentsWithReplication(t *testing.T) {
+	// Build a workload where one read-only tuple is shared by every
+	// transaction while two disjoint clusters are frequently co-written:
+	// the partitioner should replicate the shared tuple.
+	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
+	tr := workload.NewTrace()
+	for i := 0; i < 40; i++ {
+		cluster := int64(100)
+		if i%2 == 1 {
+			cluster = 200
+		}
+		tr.Add([]workload.Access{
+			{Tuple: tid(0)}, // hot read-only tuple
+			{Tuple: tid(cluster), Write: true},
+			{Tuple: tid(cluster + 1), Write: true},
+		})
+	}
+	g := Build(tr, Options{Replication: true})
+	parts, _, err := g.Partition(2, metis.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := g.Assignments(parts)
+	if got := len(asg[tid(0)]); got != 2 {
+		t.Errorf("shared read-only tuple replicated to %d partitions, want 2", got)
+	}
+	// The write clusters must not be split or replicated.
+	for _, k := range []int64{100, 101, 200, 201} {
+		if got := len(asg[tid(k)]); got != 1 {
+			t.Errorf("written tuple %d in %d partitions, want 1", k, got)
+		}
+	}
+	if asg[tid(100)][0] == asg[tid(200)][0] {
+		t.Error("the two write clusters should land on different partitions")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
+	tr := workload.NewTrace()
+	// Tuples 1 and 2 are always accessed together with identical modes.
+	for i := 0; i < 10; i++ {
+		tr.Add([]workload.Access{
+			{Tuple: tid(1)}, {Tuple: tid(2)},
+			{Tuple: tid(int64(10 + i)), Write: true},
+		})
+	}
+	g := Build(tr, Options{Coalesce: true})
+	g1, g2 := g.TupleGroup[tid(1)], g.TupleGroup[tid(2)]
+	if g1 != g2 {
+		t.Error("tuples 1 and 2 should coalesce into one group")
+	}
+	// A read and a write of the same pair must NOT coalesce with different
+	// modes: add a txn that writes tuple 1 only.
+	tr2 := workload.NewTrace()
+	for i := 0; i < 3; i++ {
+		tr2.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(2)}})
+	}
+	tr2.Add([]workload.Access{{Tuple: tid(1), Write: true}, {Tuple: tid(2)}})
+	gg := Build(tr2, Options{Coalesce: true})
+	if gg.TupleGroup[tid(1)] == gg.TupleGroup[tid(2)] {
+		t.Error("different write patterns must prevent coalescing")
+	}
+	if err := g.CSR.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingReducesNodes(t *testing.T) {
+	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
+	tr := workload.NewTrace()
+	for i := 0; i < 20; i++ {
+		// Every txn touches the same 5-tuple block plus one unique tuple.
+		acc := []workload.Access{{Tuple: tid(int64(1000 + i)), Write: true}}
+		for j := int64(0); j < 5; j++ {
+			acc = append(acc, workload.Access{Tuple: tid(j)})
+		}
+		tr.Add(acc)
+	}
+	plain := Build(tr, Options{})
+	coal := Build(tr, Options{Coalesce: true})
+	if coal.NumNodes() >= plain.NumNodes() {
+		t.Errorf("coalescing did not shrink graph: %d -> %d", plain.NumNodes(), coal.NumNodes())
+	}
+	// The coalesced block must map all five tuples to one group.
+	g0 := coal.TupleGroup[tid(0)]
+	for j := int64(1); j < 5; j++ {
+		if coal.TupleGroup[tid(j)] != g0 {
+			t.Errorf("tuple %d not coalesced with block", j)
+		}
+	}
+}
+
+func TestHeuristicFilters(t *testing.T) {
+	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
+	tr := workload.NewTrace()
+	// 50 normal 2-tuple txns + 1 blanket scan of 100 tuples.
+	for i := int64(0); i < 50; i++ {
+		tr.Add([]workload.Access{{Tuple: tid(i % 10)}, {Tuple: tid(i%10 + 1), Write: true}})
+	}
+	var scan []workload.Access
+	for i := int64(500); i < 600; i++ {
+		scan = append(scan, workload.Access{Tuple: tid(i)})
+	}
+	tr.Add(scan)
+
+	g := Build(tr, Options{BlanketMaxTuples: 20})
+	if g.Trace.Len() != 50 {
+		t.Errorf("blanket filter kept %d txns, want 50", g.Trace.Len())
+	}
+	for _, tuples := range g.GroupTuples {
+		for _, id := range tuples {
+			if id.Key >= 500 {
+				t.Fatalf("blanket tuple %v leaked into graph", id)
+			}
+		}
+	}
+
+	g2 := Build(tr, Options{TxnSampleRate: 0.5, Seed: 1})
+	if g2.Trace.Len() >= 51 || g2.Trace.Len() == 0 {
+		t.Errorf("txn sampling kept %d txns, want roughly half", g2.Trace.Len())
+	}
+
+	// Relevance filter: tuples appearing once (the scan tuples) vanish.
+	g3 := Build(tr, Options{MinAccesses: 3})
+	for _, tuples := range g3.GroupTuples {
+		for _, id := range tuples {
+			if g3.Stats.Accesses(id) < 3 {
+				t.Fatalf("irrelevant tuple %v kept", id)
+			}
+		}
+	}
+}
+
+func TestStarEdgesAblation(t *testing.T) {
+	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
+	tr := workload.NewTrace()
+	for i := 0; i < 10; i++ {
+		tr.Add([]workload.Access{
+			{Tuple: tid(0)}, {Tuple: tid(1)}, {Tuple: tid(2)}, {Tuple: tid(3)},
+		})
+	}
+	clique := Build(tr, Options{TxnEdges: CliqueEdges})
+	star := Build(tr, Options{TxnEdges: StarEdges})
+	if clique.NumEdges() != 6 {
+		t.Errorf("clique edges = %d, want 6", clique.NumEdges())
+	}
+	if star.NumEdges() != 3 {
+		t.Errorf("star edges = %d, want 3", star.NumEdges())
+	}
+}
+
+func TestDataSizeWeights(t *testing.T) {
+	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
+	tr := workload.NewTrace()
+	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(2)}})
+	g := Build(tr, Options{
+		Weights:   DataSizeWeight,
+		TupleSize: func(id workload.TupleID) int64 { return 100 + id.Key },
+	})
+	if g.CSR.TotalNodeWeight() != 101+102 {
+		t.Errorf("total node weight = %d, want 203", g.CSR.TotalNodeWeight())
+	}
+}
+
+func TestWorkloadWeights(t *testing.T) {
+	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
+	tr := workload.NewTrace()
+	// Tuple 1 accessed by 3 txns, tuple 2 by 1.
+	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(2)}})
+	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(3)}})
+	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(4)}})
+	g := Build(tr, Options{Weights: WorkloadWeight})
+	n1 := g.groupBase[g.TupleGroup[tid(1)]]
+	if w := g.CSR.NWgt[n1]; w != 3 {
+		t.Errorf("workload weight of hot tuple = %d, want 3", w)
+	}
+}

@@ -1,0 +1,109 @@
+package metis
+
+import "math/rand"
+
+// level is one rung of the multilevel hierarchy: the graph at this level
+// and the mapping from its nodes to the nodes of the next-coarser graph.
+type level struct {
+	g    *Graph
+	cmap []int32 // len g.NumNodes(); node -> coarse node id
+}
+
+// coarsen builds the multilevel hierarchy by repeated heavy-edge matching
+// until the graph has at most coarsenTo nodes or coarsening stalls.
+// It returns the list of levels finest-first; the final entry's cmap is nil
+// and its graph is the coarsest.
+func coarsen(g *Graph, coarsenTo int, rng *rand.Rand) []*level {
+	levels := []*level{{g: g}}
+	cur := g
+	for cur.NumNodes() > coarsenTo && len(levels) < 40 {
+		cmap, numCoarse := heavyEdgeMatch(cur, rng)
+		// Stall detection: if matching barely shrinks the graph (typical of
+		// star-like graphs where most nodes share one hub), stop coarsening.
+		if float64(numCoarse) > 0.95*float64(cur.NumNodes()) {
+			break
+		}
+		coarse := contract(cur, cmap, numCoarse)
+		levels[len(levels)-1].cmap = cmap
+		levels = append(levels, &level{g: coarse})
+		cur = coarse
+	}
+	return levels
+}
+
+// heavyEdgeMatch computes a matching that pairs each unmatched node with
+// its unmatched neighbour of maximum edge weight (ties broken by first
+// encounter), visiting nodes in random order. Unmatchable nodes remain
+// singletons. Returns the fine->coarse map and the coarse node count.
+func heavyEdgeMatch(g *Graph, rng *rand.Rand) (cmap []int32, numCoarse int) {
+	n := g.NumNodes()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, ui := range order {
+		u := int32(ui)
+		if match[u] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			v := g.Adj[j]
+			if match[v] >= 0 || v == u {
+				continue
+			}
+			if w := g.edgeWeight(j); w > bestW {
+				bestW, best = w, v
+			}
+		}
+		if best >= 0 {
+			match[u], match[best] = best, u
+		} else {
+			match[u] = u
+		}
+	}
+	// Assign coarse ids in node order so output is deterministic given the
+	// matching.
+	cmap = make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for u := int32(0); int(u) < n; u++ {
+		if cmap[u] >= 0 {
+			continue
+		}
+		cmap[u] = next
+		if m := match[u]; m != u && m >= 0 {
+			cmap[m] = next
+		}
+		next++
+	}
+	return cmap, int(next)
+}
+
+// contract builds the coarse graph induced by cmap: coarse node weights are
+// sums of member weights; parallel edges are merged by summing weights;
+// intra-group edges vanish.
+func contract(g *Graph, cmap []int32, numCoarse int) *Graph {
+	n := g.NumNodes()
+	nwgt := make([]int64, numCoarse)
+	for i := 0; i < n; i++ {
+		nwgt[cmap[i]] += g.NodeWeight(int32(i))
+	}
+	// Accumulate coarse edges. Each undirected fine edge {u,v} contributes
+	// exactly once via the direction with cmap[u] < cmap[v].
+	var edges []BuilderEdge
+	for u := int32(0); int(u) < n; u++ {
+		cu := cmap[u]
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			cv := cmap[g.Adj[j]]
+			if cu < cv {
+				edges = append(edges, BuilderEdge{U: cu, V: cv, Weight: g.edgeWeight(j)})
+			}
+		}
+	}
+	return NewGraph(numCoarse, edges, nwgt)
+}

@@ -1,0 +1,191 @@
+// Package metis is a pure-Go multilevel k-way graph partitioner in the
+// style of METIS (Karypis & Kumar, SIAM J. Sci. Comput. 1998): heavy-edge
+// matching coarsening, greedy-graph-growing recursive-bisection initial
+// partitioning, and Fiduccia–Mattheyses-style boundary refinement during
+// uncoarsening. It minimises the weighted edge cut subject to a balance
+// constraint on partition weights.
+//
+// The package replaces the external METIS 5 library the Schism paper uses
+// (§4.2). It operates on undirected graphs in compressed sparse row form
+// with integer node and edge weights.
+package metis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph in CSR (adjacency) form. Every edge {u,v}
+// must appear twice: v in u's adjacency list and u in v's, with equal
+// weights. Self-loops are not allowed.
+type Graph struct {
+	// XAdj has length NumNodes()+1; the neighbours of node i are
+	// Adj[XAdj[i]:XAdj[i+1]] with weights EWgt[XAdj[i]:XAdj[i+1]].
+	XAdj []int32
+	Adj  []int32
+	// EWgt holds per-directed-edge weights; nil means all edges weigh 1.
+	EWgt []int64
+	// NWgt holds per-node weights; nil means all nodes weigh 1.
+	NWgt []int64
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int {
+	if len(g.XAdj) == 0 {
+		return 0
+	}
+	return len(g.XAdj) - 1
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// NodeWeight returns the weight of node i (1 if NWgt is nil).
+func (g *Graph) NodeWeight(i int32) int64 {
+	if g.NWgt == nil {
+		return 1
+	}
+	return g.NWgt[i]
+}
+
+// edgeWeight returns the weight of the directed edge at adjacency index j.
+func (g *Graph) edgeWeight(j int32) int64 {
+	if g.EWgt == nil {
+		return 1
+	}
+	return g.EWgt[j]
+}
+
+// TotalNodeWeight returns the sum of all node weights.
+func (g *Graph) TotalNodeWeight() int64 {
+	if g.NWgt == nil {
+		return int64(g.NumNodes())
+	}
+	var tot int64
+	for _, w := range g.NWgt {
+		tot += w
+	}
+	return tot
+}
+
+// Validate checks structural invariants: monotone XAdj, in-range adjacency,
+// no self-loops, and symmetric edges with matching weights.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.XAdj) > 0 && g.XAdj[0] != 0 {
+		return errors.New("metis: XAdj[0] != 0")
+	}
+	for i := 0; i < n; i++ {
+		if g.XAdj[i+1] < g.XAdj[i] {
+			return fmt.Errorf("metis: XAdj not monotone at %d", i)
+		}
+	}
+	if n > 0 && int(g.XAdj[n]) != len(g.Adj) {
+		return fmt.Errorf("metis: XAdj[n]=%d != len(Adj)=%d", g.XAdj[n], len(g.Adj))
+	}
+	if g.EWgt != nil && len(g.EWgt) != len(g.Adj) {
+		return fmt.Errorf("metis: len(EWgt)=%d != len(Adj)=%d", len(g.EWgt), len(g.Adj))
+	}
+	if g.NWgt != nil && len(g.NWgt) != n {
+		return fmt.Errorf("metis: len(NWgt)=%d != n=%d", len(g.NWgt), n)
+	}
+	// Symmetry check via edge multiset.
+	type edge struct{ u, v int32 }
+	seen := make(map[edge]int64, len(g.Adj))
+	for u := int32(0); int(u) < n; u++ {
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			v := g.Adj[j]
+			if v == u {
+				return fmt.Errorf("metis: self-loop at node %d", u)
+			}
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("metis: adjacency out of range: %d", v)
+			}
+			seen[edge{u, v}] += g.edgeWeight(j)
+		}
+	}
+	for e, w := range seen {
+		if seen[edge{e.v, e.u}] != w {
+			return fmt.Errorf("metis: asymmetric edge {%d,%d}", e.u, e.v)
+		}
+	}
+	return nil
+}
+
+// EdgeCut returns the total weight of edges whose endpoints are in
+// different partitions. Each undirected edge is counted once.
+func (g *Graph) EdgeCut(parts []int32) int64 {
+	var cut int64
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			v := g.Adj[j]
+			if parts[u] != parts[v] {
+				cut += g.edgeWeight(j)
+			}
+		}
+	}
+	return cut / 2
+}
+
+// PartWeights returns the total node weight in each of k partitions.
+func (g *Graph) PartWeights(parts []int32, k int) []int64 {
+	w := make([]int64, k)
+	for i := 0; i < g.NumNodes(); i++ {
+		w[parts[i]] += g.NodeWeight(int32(i))
+	}
+	return w
+}
+
+// BuilderEdge is an undirected weighted edge used by NewGraph.
+type BuilderEdge struct {
+	U, V   int32
+	Weight int64
+}
+
+// NewGraph assembles a CSR graph from an edge list, merging duplicate
+// edges by summing their weights. nodeWeights may be nil (all ones).
+// Self-loops are dropped.
+func NewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) *Graph {
+	// Merge duplicates: normalise to u < v.
+	merged := make(map[int64]int64, len(edges))
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		merged[int64(u)<<32|int64(uint32(v))] += e.Weight
+	}
+	keys := make([]int64, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	deg := make([]int32, numNodes)
+	for _, k := range keys {
+		u, v := int32(k>>32), int32(uint32(k))
+		deg[u]++
+		deg[v]++
+	}
+	xadj := make([]int32, numNodes+1)
+	for i := 0; i < numNodes; i++ {
+		xadj[i+1] = xadj[i] + deg[i]
+	}
+	adj := make([]int32, xadj[numNodes])
+	ewgt := make([]int64, xadj[numNodes])
+	pos := make([]int32, numNodes)
+	copy(pos, xadj[:numNodes])
+	for _, k := range keys {
+		u, v := int32(k>>32), int32(uint32(k))
+		w := merged[k]
+		adj[pos[u]], ewgt[pos[u]] = v, w
+		pos[u]++
+		adj[pos[v]], ewgt[pos[v]] = u, w
+		pos[v]++
+	}
+	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt, NWgt: nodeWeights}
+}

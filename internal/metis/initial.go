@@ -1,0 +1,281 @@
+package metis
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// initialPartition produces a k-way partition of the (coarsest) graph by
+// recursive bisection. targets[p] is the fraction of total node weight that
+// partition p should receive; len(targets) == k.
+func initialPartition(g *Graph, k int, targets []float64, imbalance float64, rng *rand.Rand) []int32 {
+	parts := make([]int32, g.NumNodes())
+	nodes := make([]int32, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	recursiveBisect(g, nodes, 0, k, targets, imbalance, rng, parts)
+	return parts
+}
+
+// recursiveBisect assigns partitions [firstPart, firstPart+k) to the given
+// subset of nodes.
+func recursiveBisect(g *Graph, nodes []int32, firstPart, k int, targets []float64, imbalance float64, rng *rand.Rand, parts []int32) {
+	if k == 1 {
+		for _, u := range nodes {
+			parts[u] = int32(firstPart)
+		}
+		return
+	}
+	kL := (k + 1) / 2
+	kR := k - kL
+	var fracL, fracAll float64
+	for i := 0; i < k; i++ {
+		fracAll += targets[firstPart+i]
+	}
+	for i := 0; i < kL; i++ {
+		fracL += targets[firstPart+i]
+	}
+	if fracAll <= 0 {
+		fracAll = 1
+	}
+	sub := induce(g, nodes)
+	side := bisect(sub, fracL/fracAll, imbalance, rng)
+	var left, right []int32
+	for i, u := range nodes {
+		if side[i] == 0 {
+			left = append(left, u)
+		} else {
+			right = append(right, u)
+		}
+	}
+	recursiveBisect(g, left, firstPart, kL, targets, imbalance, rng, parts)
+	recursiveBisect(g, right, firstPart+kL, kR, targets, imbalance, rng, parts)
+}
+
+// induce extracts the subgraph on the given nodes (edges to outside nodes
+// are dropped). Node i of the subgraph corresponds to nodes[i].
+func induce(g *Graph, nodes []int32) *Graph {
+	local := make(map[int32]int32, len(nodes))
+	for i, u := range nodes {
+		local[u] = int32(i)
+	}
+	nwgt := make([]int64, len(nodes))
+	var edges []BuilderEdge
+	for i, u := range nodes {
+		nwgt[i] = g.NodeWeight(u)
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			v := g.Adj[j]
+			lv, ok := local[v]
+			if !ok || lv <= int32(i) {
+				continue
+			}
+			edges = append(edges, BuilderEdge{U: int32(i), V: lv, Weight: g.edgeWeight(j)})
+		}
+	}
+	return NewGraph(len(nodes), edges, nwgt)
+}
+
+// ggAttempts is how many greedy-graph-growing seeds bisect tries before
+// keeping the best cut.
+const ggAttempts = 4
+
+// bisect splits g into sides 0 and 1, with side 0 receiving approximately
+// fracL of the total node weight, using greedy graph growing followed by
+// FM refinement. Returns the side of each node.
+func bisect(g *Graph, fracL, imbalance float64, rng *rand.Rand) []int32 {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	total := g.TotalNodeWeight()
+	target := int64(float64(total) * fracL)
+	var bestSide []int32
+	var bestCut int64 = -1
+	for try := 0; try < ggAttempts; try++ {
+		side := growRegion(g, target, rng)
+		fmRefineBisection(g, side, target, total, imbalance, 4)
+		cut := g.EdgeCut(side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			bestSide = side
+		}
+	}
+	return bestSide
+}
+
+// growRegion grows side 0 from a random seed, always absorbing the frontier
+// vertex with the strongest connection to the region, until side 0 holds at
+// least target weight. Disconnected remainders seed new growth fronts.
+func growRegion(g *Graph, target int64, rng *rand.Rand) []int32 {
+	n := g.NumNodes()
+	side := make([]int32, n)
+	for i := range side {
+		side[i] = 1
+	}
+	if target <= 0 {
+		return side
+	}
+	inRegion := make([]bool, n)
+	conn := make([]int64, n) // connection weight of frontier vertices to the region
+	pq := &nodeHeap{}
+	var regionW int64
+	addNode := func(u int32) {
+		inRegion[u] = true
+		side[u] = 0
+		regionW += g.NodeWeight(u)
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			v := g.Adj[j]
+			if inRegion[v] {
+				continue
+			}
+			conn[v] += g.edgeWeight(j)
+			heap.Push(pq, nodeEntry{node: v, key: conn[v]})
+		}
+	}
+	perm := rng.Perm(n)
+	pi := 0
+	nextSeed := func() int32 {
+		for pi < n {
+			u := int32(perm[pi])
+			pi++
+			if !inRegion[u] {
+				return u
+			}
+		}
+		return -1
+	}
+	for regionW < target {
+		var u int32 = -1
+		for pq.Len() > 0 {
+			e := heap.Pop(pq).(nodeEntry)
+			if !inRegion[e.node] && conn[e.node] == e.key {
+				u = e.node
+				break
+			}
+		}
+		if u < 0 {
+			if u = nextSeed(); u < 0 {
+				break
+			}
+		}
+		addNode(u)
+	}
+	return side
+}
+
+// nodeEntry and nodeHeap implement a max-heap keyed by connection weight.
+type nodeEntry struct {
+	node int32
+	key  int64
+}
+
+type nodeHeap []nodeEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// fmRefineBisection runs Fiduccia–Mattheyses passes on a 2-way partition:
+// in each pass vertices are moved one at a time in order of best gain
+// (subject to the balance constraint), each vertex at most once; at the end
+// of the pass the prefix of moves with the best cumulative cut is kept.
+func fmRefineBisection(g *Graph, side []int32, targetL, total int64, imbalance float64, maxPasses int) {
+	n := g.NumNodes()
+	maxL := int64(float64(targetL) * imbalance)
+	maxR := int64(float64(total-targetL) * imbalance)
+	if maxL < targetL {
+		maxL = targetL
+	}
+	if maxR < total-targetL {
+		maxR = total - targetL
+	}
+	weights := [2]int64{}
+	for i := 0; i < n; i++ {
+		weights[side[i]] += g.NodeWeight(int32(i))
+	}
+	gain := make([]int64, n)
+	computeGain := func(u int32) int64 {
+		var ext, intl int64
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			if side[g.Adj[j]] == side[u] {
+				intl += g.edgeWeight(j)
+			} else {
+				ext += g.edgeWeight(j)
+			}
+		}
+		return ext - intl
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		locked := make([]bool, n)
+		pq := &nodeHeap{}
+		for u := int32(0); int(u) < n; u++ {
+			gain[u] = computeGain(u)
+			heap.Push(pq, nodeEntry{node: u, key: gain[u]})
+		}
+		type move struct {
+			node int32
+			from int32
+		}
+		var moves []move
+		var cum, best int64
+		bestIdx := -1
+		for pq.Len() > 0 {
+			e := heap.Pop(pq).(nodeEntry)
+			u := e.node
+			if locked[u] || gain[u] != e.key {
+				continue
+			}
+			from := side[u]
+			to := 1 - from
+			w := g.NodeWeight(u)
+			// Balance: allow the move only if the destination stays within
+			// its cap (or the move corrects an existing overload).
+			destMax := maxR
+			if to == 0 {
+				destMax = maxL
+			}
+			srcOver := (from == 0 && weights[0] > maxL) || (from == 1 && weights[1] > maxR)
+			if weights[to]+w > destMax && !srcOver {
+				continue
+			}
+			side[u] = to
+			weights[from] -= w
+			weights[to] += w
+			locked[u] = true
+			cum += gain[u]
+			moves = append(moves, move{node: u, from: from})
+			if cum > best {
+				best = cum
+				bestIdx = len(moves) - 1
+			}
+			for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+				v := g.Adj[j]
+				if locked[v] {
+					continue
+				}
+				gain[v] = computeGain(v)
+				heap.Push(pq, nodeEntry{node: v, key: gain[v]})
+			}
+		}
+		// Roll back moves past the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			m := moves[i]
+			w := g.NodeWeight(m.node)
+			weights[side[m.node]] -= w
+			weights[m.from] += w
+			side[m.node] = m.from
+		}
+		if best <= 0 {
+			break
+		}
+	}
+}

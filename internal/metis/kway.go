@@ -1,0 +1,96 @@
+package metis
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Options control the partitioner.
+type Options struct {
+	// Imbalance is the permitted load factor per partition relative to
+	// perfect balance (METIS ufactor). 1.05 allows 5% overload.
+	// Values <= 1 are treated as the default.
+	Imbalance float64
+	// Seed drives all randomised decisions; equal seeds give equal output.
+	Seed int64
+	// Passes bounds refinement passes per level (default 8).
+	Passes int
+	// CoarsenTo stops coarsening once the graph is at most this many nodes
+	// (default max(100, 15*k)).
+	CoarsenTo int
+}
+
+func (o Options) withDefaults(k int) Options {
+	if o.Imbalance <= 1 {
+		o.Imbalance = 1.05
+	}
+	if o.Passes <= 0 {
+		o.Passes = 8
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 15 * k
+		if o.CoarsenTo < 100 {
+			o.CoarsenTo = 100
+		}
+	}
+	return o
+}
+
+// PartKway partitions g into k balanced parts minimising the weighted edge
+// cut, in the style of METIS kmetis (§4.2 of the Schism paper). It returns
+// the partition label of every node and the achieved edge cut.
+func PartKway(g *Graph, k int, opts Options) ([]int32, int64, error) {
+	n := g.NumNodes()
+	if k < 1 {
+		return nil, 0, fmt.Errorf("metis: k must be >= 1, got %d", k)
+	}
+	parts := make([]int32, n)
+	if k == 1 || n == 0 {
+		return parts, 0, nil
+	}
+	if k >= n {
+		for i := range parts {
+			parts[i] = int32(i)
+		}
+		return parts, g.EdgeCut(parts), nil
+	}
+	opts = opts.withDefaults(k)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	levels := coarsen(g, opts.CoarsenTo, rng)
+	coarsest := levels[len(levels)-1].g
+
+	targets := make([]float64, k)
+	for i := range targets {
+		targets[i] = 1.0 / float64(k)
+	}
+	cparts := initialPartition(coarsest, k, targets, opts.Imbalance, rng)
+
+	total := g.TotalNodeWeight()
+	maxPW := make([]int64, k)
+	for p := 0; p < k; p++ {
+		m := int64(float64(total) * targets[p] * opts.Imbalance)
+		// Always permit at least the ceiling of perfect balance so that a
+		// feasible assignment exists even for tiny graphs.
+		if ceil := (total + int64(k) - 1) / int64(k); m < ceil {
+			m = ceil
+		}
+		maxPW[p] = m
+	}
+
+	// Refine at the coarsest level, then project and refine at each finer
+	// level. Balance caps are expressed in total weight, which is invariant
+	// across levels.
+	kwayRefine(coarsest, cparts, k, maxPW, opts.Passes, rng)
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		fparts := make([]int32, fine.g.NumNodes())
+		for u := range fparts {
+			fparts[u] = cparts[fine.cmap[u]]
+		}
+		rebalance(fine.g, fparts, k, maxPW, rng)
+		kwayRefine(fine.g, fparts, k, maxPW, opts.Passes, rng)
+		cparts = fparts
+	}
+	return cparts, g.EdgeCut(cparts), nil
+}

@@ -1,0 +1,307 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// cliqueGraph builds c cliques of size s each, with consecutive cliques
+// linked by a single weight-1 bridge edge. The optimal k=c partition cuts
+// only the bridges.
+func cliqueGraph(c, s int) *Graph {
+	var edges []BuilderEdge
+	n := c * s
+	for ci := 0; ci < c; ci++ {
+		base := int32(ci * s)
+		for i := int32(0); i < int32(s); i++ {
+			for j := i + 1; j < int32(s); j++ {
+				edges = append(edges, BuilderEdge{U: base + i, V: base + j, Weight: 10})
+			}
+		}
+		if ci > 0 {
+			edges = append(edges, BuilderEdge{U: base - 1, V: base, Weight: 1})
+		}
+	}
+	return NewGraph(n, edges, nil)
+}
+
+func TestNewGraphMergesDuplicates(t *testing.T) {
+	g := NewGraph(3, []BuilderEdge{
+		{U: 0, V: 1, Weight: 2},
+		{U: 1, V: 0, Weight: 3},
+		{U: 1, V: 2, Weight: 1},
+		{U: 0, V: 0, Weight: 9}, // self-loop dropped
+	}, nil)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	// Edge {0,1} should have merged weight 5.
+	found := false
+	for j := g.XAdj[0]; j < g.XAdj[1]; j++ {
+		if g.Adj[j] == 1 {
+			found = true
+			if g.EWgt[j] != 5 {
+				t.Errorf("merged weight = %d, want 5", g.EWgt[j])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("edge {0,1} missing")
+	}
+}
+
+func TestValidateRejectsAsymmetry(t *testing.T) {
+	g := &Graph{
+		XAdj: []int32{0, 1, 1},
+		Adj:  []int32{1},
+		EWgt: []int64{1},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric graph")
+	}
+}
+
+func TestPartKwayTrivial(t *testing.T) {
+	g := cliqueGraph(2, 5)
+	parts, cut, err := PartKway(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 0 {
+		t.Errorf("k=1 cut = %d, want 0", cut)
+	}
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatal("k=1 must assign everything to partition 0")
+		}
+	}
+	if _, _, err := PartKway(g, 0, Options{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	// k >= n: every node its own partition.
+	small := NewGraph(3, []BuilderEdge{{U: 0, V: 1, Weight: 1}}, nil)
+	parts, _, err = PartKway(small, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, p := range parts {
+		if seen[p] {
+			t.Error("k >= n should give distinct labels")
+		}
+		seen[p] = true
+	}
+}
+
+func TestPartKwayFindsCliqueStructure(t *testing.T) {
+	for _, tc := range []struct{ c, s, k int }{
+		{2, 20, 2},
+		{4, 15, 4},
+		{8, 10, 8},
+	} {
+		g := cliqueGraph(tc.c, tc.s)
+		parts, cut, err := PartKway(g, tc.k, Options{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ideal cut: one bridge (weight 1) between consecutive cliques.
+		ideal := int64(tc.c - 1)
+		if cut > ideal {
+			t.Errorf("c=%d s=%d k=%d: cut = %d, want <= %d", tc.c, tc.s, tc.k, cut, ideal)
+		}
+		// Each clique must land wholly in one partition.
+		for ci := 0; ci < tc.c; ci++ {
+			p0 := parts[ci*tc.s]
+			for i := 1; i < tc.s; i++ {
+				if parts[ci*tc.s+i] != p0 {
+					t.Errorf("clique %d split across partitions", ci)
+					break
+				}
+			}
+		}
+		// Balance: no partition may exceed ceil(n/k * imbalance).
+		pw := g.PartWeights(parts, tc.k)
+		limit := int64(float64(g.TotalNodeWeight())/float64(tc.k)*1.05) + 1
+		for p, w := range pw {
+			if w > limit {
+				t.Errorf("partition %d weight %d exceeds limit %d", p, w, limit)
+			}
+		}
+	}
+}
+
+func TestPartKwayDeterministic(t *testing.T) {
+	g := randomGraph(500, 2000, 7)
+	a, cutA, err := PartKway(g, 8, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cutB, err := PartKway(g, 8, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutA != cutB {
+		t.Fatalf("cuts differ: %d vs %d", cutA, cutB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("labels differ at node %d", i)
+		}
+	}
+}
+
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]BuilderEdge, 0, m)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, BuilderEdge{U: u, V: v, Weight: int64(1 + rng.Intn(5))})
+	}
+	nwgt := make([]int64, n)
+	for i := range nwgt {
+		nwgt[i] = int64(1 + rng.Intn(3))
+	}
+	return NewGraph(n, edges, nwgt)
+}
+
+// TestPartKwayInvariants property-tests the partitioner on random graphs:
+// every node labelled in [0,k), reported cut equals an independent recount,
+// and partition weights respect the balance cap.
+func TestPartKwayInvariants(t *testing.T) {
+	f := func(seedRaw int64, nRaw, mRaw, kRaw uint8) bool {
+		n := 20 + int(nRaw)%300
+		m := 2 * n
+		if mRaw%3 == 0 {
+			m = 4 * n
+		}
+		k := 2 + int(kRaw)%9
+		g := randomGraph(n, m, seedRaw)
+		parts, cut, err := PartKway(g, k, Options{Seed: seedRaw})
+		if err != nil {
+			t.Logf("err: %v", err)
+			return false
+		}
+		if len(parts) != n {
+			return false
+		}
+		for _, p := range parts {
+			if p < 0 || int(p) >= k {
+				t.Logf("label out of range: %d", p)
+				return false
+			}
+		}
+		if recut := g.EdgeCut(parts); recut != cut {
+			t.Logf("cut mismatch: reported %d recount %d", cut, recut)
+			return false
+		}
+		total := g.TotalNodeWeight()
+		limit := int64(float64(total)/float64(k)*1.05) + 1
+		ceil := (total + int64(k) - 1) / int64(k)
+		if limit < ceil {
+			limit = ceil
+		}
+		// Max node weight: a single huge node can always overflow; account.
+		var maxNW int64
+		for i := 0; i < n; i++ {
+			if w := g.NodeWeight(int32(i)); w > maxNW {
+				maxNW = w
+			}
+		}
+		for _, w := range g.PartWeights(parts, k) {
+			if w > limit+maxNW {
+				t.Logf("partition weight %d exceeds %d", w, limit+maxNW)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartKwayQualityVsRandom checks that the partitioner beats random
+// assignment by a wide margin on a community-structured graph.
+func TestPartKwayQualityVsRandom(t *testing.T) {
+	g := cliqueGraph(6, 25)
+	parts, cut, err := PartKway(g, 6, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = parts
+	rng := rand.New(rand.NewSource(1))
+	randParts := make([]int32, g.NumNodes())
+	for i := range randParts {
+		randParts[i] = int32(rng.Intn(6))
+	}
+	randCut := g.EdgeCut(randParts)
+	if cut*10 > randCut {
+		t.Errorf("partitioner cut %d not ≪ random cut %d", cut, randCut)
+	}
+}
+
+func TestEdgeCutCounts(t *testing.T) {
+	g := NewGraph(4, []BuilderEdge{
+		{U: 0, V: 1, Weight: 3},
+		{U: 1, V: 2, Weight: 5},
+		{U: 2, V: 3, Weight: 7},
+	}, nil)
+	parts := []int32{0, 0, 1, 1}
+	if cut := g.EdgeCut(parts); cut != 5 {
+		t.Fatalf("EdgeCut = %d, want 5", cut)
+	}
+}
+
+func TestContractPreservesWeight(t *testing.T) {
+	g := randomGraph(200, 600, 3)
+	rng := rand.New(rand.NewSource(5))
+	cmap, nc := heavyEdgeMatch(g, rng)
+	coarse := contract(g, cmap, nc)
+	if coarse.TotalNodeWeight() != g.TotalNodeWeight() {
+		t.Fatalf("coarse weight %d != fine weight %d", coarse.TotalNodeWeight(), g.TotalNodeWeight())
+	}
+	if err := coarse.Validate(); err != nil {
+		t.Fatalf("coarse graph invalid: %v", err)
+	}
+	if nc >= g.NumNodes() {
+		t.Fatalf("matching did not shrink graph: %d -> %d", g.NumNodes(), nc)
+	}
+}
+
+func TestCoarsenHierarchy(t *testing.T) {
+	g := randomGraph(2000, 8000, 11)
+	rng := rand.New(rand.NewSource(2))
+	levels := coarsen(g, 100, rng)
+	if len(levels) < 2 {
+		t.Fatal("expected at least one coarsening level")
+	}
+	for i := 0; i < len(levels)-1; i++ {
+		if levels[i].cmap == nil {
+			t.Fatalf("level %d missing cmap", i)
+		}
+		if levels[i+1].g.NumNodes() >= levels[i].g.NumNodes() {
+			t.Fatalf("level %d did not shrink", i)
+		}
+	}
+	if last := levels[len(levels)-1]; last.cmap != nil {
+		t.Fatal("coarsest level should have nil cmap")
+	}
+}
+
+func BenchmarkPartKway(b *testing.B) {
+	g := randomGraph(10000, 50000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PartKway(g, 16, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package metis
+
+import "math/rand"
+
+// kwayRefine runs greedy k-way boundary refinement: repeated passes over
+// the nodes in random order, moving each boundary node to the adjacent
+// partition that most reduces the cut, subject to the balance caps.
+// Zero-gain moves are taken only when they improve balance. Stops when a
+// pass moves nothing or maxPasses is reached.
+func kwayRefine(g *Graph, parts []int32, k int, maxPW []int64, maxPasses int, rng *rand.Rand) {
+	n := g.NumNodes()
+	pw := g.PartWeights(parts, k)
+	conn := make([]int64, k) // scratch: connection weight to each partition
+	touched := make([]int32, 0, 16)
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := 0
+		order := rng.Perm(n)
+		for _, ui := range order {
+			u := int32(ui)
+			from := parts[u]
+			// Compute connectivity to adjacent partitions.
+			boundary := false
+			touched = touched[:0]
+			for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+				p := parts[g.Adj[j]]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += g.edgeWeight(j)
+				if p != from {
+					boundary = true
+				}
+			}
+			if !boundary {
+				for _, p := range touched {
+					conn[p] = 0
+				}
+				continue
+			}
+			w := g.NodeWeight(u)
+			var best int32 = -1
+			var bestGain int64
+			for _, p := range touched {
+				if p == from || pw[p]+w > maxPW[p] {
+					continue
+				}
+				gain := conn[p] - conn[from]
+				switch {
+				case gain < 0:
+					// Never worsen the cut here; rebalance() handles
+					// overload with negative-gain moves separately.
+				case best < 0 && (gain > 0 || pw[p]+w < pw[from]):
+					// First acceptable move: positive gain, or zero gain
+					// that strictly improves balance.
+					best, bestGain = p, gain
+				case best >= 0 && gain > bestGain:
+					best, bestGain = p, gain
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+			if best >= 0 {
+				parts[u] = best
+				pw[from] -= w
+				pw[best] += w
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// rebalance moves nodes out of overloaded partitions (weight > maxPW) into
+// the least-loaded feasible partitions, choosing moves that hurt the cut
+// least. It is run after projection at each uncoarsening level, where the
+// coarse partition may violate balance on the finer graph.
+func rebalance(g *Graph, parts []int32, k int, maxPW []int64, rng *rand.Rand) {
+	n := g.NumNodes()
+	pw := g.PartWeights(parts, k)
+	over := false
+	for p := 0; p < k; p++ {
+		if pw[p] > maxPW[p] {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	conn := make([]int64, k)
+	touched := make([]int32, 0, 16)
+	order := rng.Perm(n)
+	for _, ui := range order {
+		u := int32(ui)
+		from := parts[u]
+		if pw[from] <= maxPW[from] {
+			continue
+		}
+		w := g.NodeWeight(u)
+		touched = touched[:0]
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			p := parts[g.Adj[j]]
+			if conn[p] == 0 {
+				touched = append(touched, p)
+			}
+			conn[p] += g.edgeWeight(j)
+		}
+		// Prefer the adjacent partition with max connectivity that has room;
+		// fall back to the globally least-loaded partition.
+		var best int32 = -1
+		var bestConn int64 = -1
+		for _, p := range touched {
+			if p == from || pw[p]+w > maxPW[p] {
+				continue
+			}
+			if conn[p] > bestConn {
+				bestConn = conn[p]
+				best = p
+			}
+		}
+		if best < 0 {
+			var minLoad int64 = 1<<63 - 1
+			for p := 0; p < k; p++ {
+				if int32(p) == from {
+					continue
+				}
+				if pw[p]+w <= maxPW[p] && pw[p] < minLoad {
+					minLoad = pw[p]
+					best = int32(p)
+				}
+			}
+		}
+		for _, p := range touched {
+			conn[p] = 0
+		}
+		if best >= 0 {
+			parts[u] = best
+			pw[from] -= w
+			pw[best] += w
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"schism/internal/workload"
+)
+
+// Cost summarises a strategy's behaviour on a trace.
+type Cost struct {
+	Total       int
+	Distributed int
+}
+
+// DistributedFrac returns the fraction of distributed transactions, the
+// paper's headline metric (Fig. 4).
+func (c Cost) DistributedFrac() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Distributed) / float64(c.Total)
+}
+
+// Evaluate counts how many transactions in the trace would be distributed
+// under the strategy (§4.4). The model is replica-aware, matching the
+// router's behaviour (§5.4):
+//
+//   - every write must reach every replica of the written tuple, so the
+//     transaction must touch the union of written tuples' replica sets;
+//   - a read may be served by any replica, so reads prefer a partition the
+//     transaction already needs.
+//
+// A transaction is single-sited iff one partition can serve all of it.
+func Evaluate(tr *workload.Trace, s Strategy, resolve Resolver) Cost {
+	cache := make(map[workload.TupleID][]int)
+	locate := func(id workload.TupleID) []int {
+		if parts, ok := cache[id]; ok {
+			return parts
+		}
+		var row Row
+		if resolve != nil {
+			row = resolve(id)
+		}
+		parts := s.Locate(id, row)
+		cache[id] = parts
+		return parts
+	}
+	c := Cost{Total: tr.Len()}
+	for _, t := range tr.Txns {
+		if txnDistributed(t, locate) {
+			c.Distributed++
+		}
+	}
+	return c
+}
+
+// txnDistributed decides whether a transaction must span >1 partition.
+// Tuples whose replica set is empty are unconstrained — brand-new tuples a
+// floating lookup strategy lets the transaction create at its home
+// partition — and impose no requirement.
+func txnDistributed(t *workload.Txn, locate func(workload.TupleID) []int) bool {
+	writes := t.WriteSet()
+	reads := t.ReadSet()
+
+	// Partitions the transaction is forced to touch: every replica of
+	// every written tuple.
+	required := map[int]bool{}
+	for _, id := range writes {
+		for _, p := range locate(id) {
+			required[p] = true
+		}
+	}
+	if len(required) > 1 {
+		return true
+	}
+
+	if len(required) == 1 {
+		// The single required partition must also hold a replica of every
+		// tuple the transaction reads.
+		var home int
+		for p := range required {
+			home = p
+		}
+		for _, id := range reads {
+			parts := locate(id)
+			if len(parts) == 0 {
+				continue
+			}
+			if !contains(parts, home) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Read-only (or all writes unconstrained): single-sited iff the
+	// intersection of all non-empty replica sets is non-empty.
+	var inter map[int]bool
+	for _, id := range reads {
+		parts := locate(id)
+		if len(parts) == 0 {
+			continue
+		}
+		if inter == nil {
+			inter = map[int]bool{}
+			for _, p := range parts {
+				inter[p] = true
+			}
+			continue
+		}
+		for p := range inter {
+			if !contains(parts, p) {
+				delete(inter, p)
+			}
+		}
+		if len(inter) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(parts []int, p int) bool {
+	for _, q := range parts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// EvaluateAssignments counts distributed transactions for a raw per-tuple
+// assignment map (the graph partitioner's direct output), using the given
+// default replica set for unassigned tuples (nil means unconstrained: new
+// tuples follow their transaction). This is the "schism" series in Fig. 4
+// before any explanation is attempted.
+func EvaluateAssignments(tr *workload.Trace, asg map[workload.TupleID][]int, k int, def []int) Cost {
+	locate := func(id workload.TupleID) []int {
+		if parts, ok := asg[id]; ok {
+			return parts
+		}
+		return def
+	}
+	c := Cost{Total: tr.Len()}
+	for _, t := range tr.Txns {
+		if txnDistributed(t, locate) {
+			c.Distributed++
+		}
+	}
+	return c
+}

@@ -1,0 +1,470 @@
+// Package partition defines partitioning/replication strategies (hash,
+// range-predicate, lookup-table, full replication) and the cost model
+// Schism's validation phase uses to choose among them: the number of
+// distributed transactions a strategy induces on a workload trace (§4.4).
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schism/internal/datum"
+	"schism/internal/dtree"
+	"schism/internal/lookup"
+	"schism/internal/sqlparse"
+	"schism/internal/workload"
+)
+
+// Row exposes a tuple's column values to predicate-based strategies.
+type Row interface {
+	// Get returns the value of the named column (NULL if absent).
+	Get(column string) datum.D
+}
+
+// Resolver fetches the stored row for a tuple id; it returns nil when the
+// tuple's contents are unknown (strategies then fall back to key-only
+// placement).
+type Resolver func(id workload.TupleID) Row
+
+// Route describes where a statement may execute (App. C.2).
+type Route struct {
+	// Single lists partitions any ONE of which holds every matching tuple
+	// (a read picks one, preferring a partition the transaction already
+	// touched). Empty means no single partition suffices.
+	Single []int
+	// All lists every partition that may hold matching tuples; writes must
+	// touch all of them, and reads fall back to all when Single is empty.
+	All []int
+}
+
+// Strategy places tuples onto partitions, possibly replicated.
+type Strategy interface {
+	// Name identifies the strategy in reports (e.g. "hashing").
+	Name() string
+	// Complexity orders strategies for the validation tie-break (§4.4):
+	// lower is simpler. Hash and replication are 0, range predicates 1,
+	// lookup tables 2.
+	Complexity() int
+	// NumPartitions returns k.
+	NumPartitions() int
+	// Locate returns the sorted replica set for a tuple. row may be nil.
+	Locate(id workload.TupleID, row Row) []int
+	// RouteStmt routes a parsed statement's constraints (App. C.2).
+	RouteStmt(table string, cons []sqlparse.Constraint, routable bool) Route
+}
+
+// Hash partitions each tuple by hashing its key (the paper's baseline) or,
+// when Columns maps the tuple's table to an attribute, by hashing that
+// attribute's value (the validation phase's "hash on most frequent
+// attribute").
+type Hash struct {
+	K int
+	// Columns optionally maps table -> attribute to hash on. Tables not
+	// listed hash on the tuple key. The attribute must functionally
+	// determine placement for routing to work (e.g. w_id in TPC-C).
+	Columns map[string]string
+	// KeyColumn maps table -> name of its key column, so statements with
+	// equality predicates on the key route exactly. Optional.
+	KeyColumn map[string]string
+}
+
+// Name implements Strategy.
+func (h *Hash) Name() string { return "hashing" }
+
+// Complexity implements Strategy.
+func (h *Hash) Complexity() int { return 0 }
+
+// NumPartitions implements Strategy.
+func (h *Hash) NumPartitions() int { return h.K }
+
+// Locate implements Strategy.
+func (h *Hash) Locate(id workload.TupleID, row Row) []int {
+	if col, ok := h.Columns[id.Table]; ok && row != nil {
+		if v := row.Get(col); !v.IsNull() {
+			return []int{int(datum.Hash(v) % uint64(h.K))}
+		}
+	}
+	return []int{int(datum.Hash(datum.NewInt(id.Key)) % uint64(h.K))}
+}
+
+// RouteStmt implements Strategy.
+func (h *Hash) RouteStmt(table string, cons []sqlparse.Constraint, routable bool) Route {
+	if !routable {
+		return broadcast(h.K)
+	}
+	col, hashByCol := h.Columns[table]
+	if !hashByCol {
+		col = h.KeyColumn[table]
+		if col == "" {
+			return broadcast(h.K)
+		}
+	}
+	for _, c := range cons {
+		if c.Table != table || c.Column != col || len(c.Eq) == 0 {
+			continue
+		}
+		set := map[int]bool{}
+		for _, v := range c.Eq {
+			set[int(datum.Hash(v)%uint64(h.K))] = true
+		}
+		parts := keys(set)
+		if len(parts) == 1 {
+			return Route{Single: parts, All: parts}
+		}
+		return Route{All: parts}
+	}
+	return broadcast(h.K)
+}
+
+// FullReplication stores every tuple on every partition: reads are local
+// anywhere, writes touch all k partitions.
+type FullReplication struct{ K int }
+
+// Name implements Strategy.
+func (r *FullReplication) Name() string { return "replication" }
+
+// Complexity implements Strategy.
+func (r *FullReplication) Complexity() int { return 0 }
+
+// NumPartitions implements Strategy.
+func (r *FullReplication) NumPartitions() int { return r.K }
+
+// Locate implements Strategy.
+func (r *FullReplication) Locate(workload.TupleID, Row) []int { return allParts(r.K) }
+
+// RouteStmt implements Strategy.
+func (r *FullReplication) RouteStmt(string, []sqlparse.Constraint, bool) Route {
+	all := allParts(r.K)
+	return Route{Single: all, All: all}
+}
+
+// RangeCond is one predicate of a range rule.
+type RangeCond struct {
+	Column string
+	Op     dtree.CondOp
+	Value  datum.D
+}
+
+// Matches reports whether a row satisfies the condition.
+func (c RangeCond) Matches(row Row) bool {
+	v := row.Get(c.Column)
+	switch c.Op {
+	case dtree.CondLe:
+		return datum.Compare(v, c.Value) <= 0
+	case dtree.CondGt:
+		return datum.Compare(v, c.Value) > 0
+	case dtree.CondEq:
+		return datum.Equal(v, c.Value)
+	case dtree.CondNe:
+		return !datum.Equal(v, c.Value)
+	}
+	return false
+}
+
+func (c RangeCond) String() string {
+	return c.Column + " " + c.Op.String() + " " + c.Value.String()
+}
+
+// RangeRule maps a conjunction of predicates to a replica set.
+type RangeRule struct {
+	Conds []RangeCond
+	Parts []int
+}
+
+func (r RangeRule) String() string {
+	if len(r.Conds) == 0 {
+		return fmt.Sprintf("<empty> -> %v", r.Parts)
+	}
+	ps := make([]string, len(r.Conds))
+	for i, c := range r.Conds {
+		ps[i] = c.String()
+	}
+	return fmt.Sprintf("%s -> %v", strings.Join(ps, " AND "), r.Parts)
+}
+
+// TableRules is the predicate-based placement of one table.
+type TableRules struct {
+	Table string
+	Rules []RangeRule
+	// Default is the replica set for rows matching no rule.
+	Default []int
+}
+
+// Range is the predicate-based strategy produced by the explanation phase
+// (§4.3): per-table decision-tree rules over frequently used attributes.
+type Range struct {
+	K      int
+	Tables map[string]*TableRules
+	// Default is the replica set for tables without rules; nil means
+	// replicate everywhere (the paper's choice for untouched read-mostly
+	// tables) is NOT assumed — key-hash placement is used instead.
+	Default []int
+}
+
+// Name implements Strategy.
+func (r *Range) Name() string { return "range-predicates" }
+
+// Complexity implements Strategy.
+func (r *Range) Complexity() int { return 1 }
+
+// NumPartitions implements Strategy.
+func (r *Range) NumPartitions() int { return r.K }
+
+// Locate implements Strategy.
+func (r *Range) Locate(id workload.TupleID, row Row) []int {
+	tr, ok := r.Tables[id.Table]
+	if ok && row != nil {
+	rules:
+		for _, rule := range tr.Rules {
+			for _, c := range rule.Conds {
+				if !c.Matches(row) {
+					continue rules
+				}
+			}
+			return rule.Parts
+		}
+	}
+	if ok && tr.Default != nil {
+		return tr.Default
+	}
+	if r.Default != nil {
+		return r.Default
+	}
+	return []int{int(datum.Hash(datum.NewInt(id.Key)) % uint64(r.K))}
+}
+
+// RouteStmt implements Strategy: a rule is a candidate when every one of
+// its conditions is consistent with the statement's constraints; the route
+// is the union of candidate rules' replica sets.
+func (r *Range) RouteStmt(table string, cons []sqlparse.Constraint, routable bool) Route {
+	tr, ok := r.Tables[table]
+	if !ok || !routable {
+		return broadcast(r.K)
+	}
+	set := map[int]bool{}
+	single := true
+	matched := 0
+	for _, rule := range tr.Rules {
+		if !ruleCompatible(rule, table, cons) {
+			continue
+		}
+		matched++
+		if matched > 1 {
+			single = false
+		}
+		for _, p := range rule.Parts {
+			set[p] = true
+		}
+	}
+	if matched == 0 {
+		if tr.Default != nil {
+			return Route{Single: tr.Default, All: tr.Default}
+		}
+		return broadcast(r.K)
+	}
+	parts := keys(set)
+	if single || len(parts) == 1 {
+		return Route{Single: parts, All: parts}
+	}
+	return Route{All: parts}
+}
+
+// ruleCompatible reports whether some tuple could satisfy both the rule's
+// conditions and the statement's constraints (a sound over-approximation).
+func ruleCompatible(rule RangeRule, table string, cons []sqlparse.Constraint) bool {
+	for _, rc := range rule.Conds {
+		for _, c := range cons {
+			if c.Table != table || c.Column != rc.Column {
+				continue
+			}
+			if !condIntersects(rc, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// condIntersects reports whether constraint c admits any value satisfying
+// rule condition rc.
+func condIntersects(rc RangeCond, c sqlparse.Constraint) bool {
+	if len(c.Eq) > 0 {
+		for _, v := range c.Eq {
+			switch rc.Op {
+			case dtree.CondLe:
+				if datum.Compare(v, rc.Value) <= 0 {
+					return true
+				}
+			case dtree.CondGt:
+				if datum.Compare(v, rc.Value) > 0 {
+					return true
+				}
+			case dtree.CondEq:
+				if datum.Equal(v, rc.Value) {
+					return true
+				}
+			case dtree.CondNe:
+				if !datum.Equal(v, rc.Value) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Range constraint [Lo, Hi]: intersect with the rule's half-line.
+	switch rc.Op {
+	case dtree.CondLe: // rule wants v <= X
+		if c.Lo != nil {
+			cmp := datum.Compare(*c.Lo, rc.Value)
+			if cmp > 0 || (cmp == 0 && c.LoStrict) {
+				return false
+			}
+		}
+	case dtree.CondGt: // rule wants v > X; needs the upper bound to exceed X
+		if c.Hi != nil && datum.Compare(*c.Hi, rc.Value) <= 0 {
+			return false
+		}
+	case dtree.CondEq:
+		if c.Lo != nil {
+			cmp := datum.Compare(rc.Value, *c.Lo)
+			if cmp < 0 || (cmp == 0 && c.LoStrict) {
+				return false
+			}
+		}
+		if c.Hi != nil {
+			cmp := datum.Compare(rc.Value, *c.Hi)
+			if cmp > 0 || (cmp == 0 && c.HiStrict) {
+				return false
+			}
+		}
+	case dtree.CondNe:
+		// A range almost always contains a value != X.
+	}
+	return true
+}
+
+// Lookup is the fine-grained per-tuple strategy backed by lookup tables
+// (§4.2): the direct output of the graph partitioner.
+type Lookup struct {
+	K      int
+	Tables map[string]lookup.Table
+	// Default is the replica set for keys missing from the tables (new or
+	// never-traced tuples). Nil means hash placement on the key, matching
+	// the paper's "insert into a random partition"; the Epinions experiment
+	// sets it to all partitions (replicate untouched read-mostly tuples).
+	Default []int
+	// Floating declares that the tables cover every EXISTING tuple, so an
+	// unknown key is a brand-new tuple that may be created on any
+	// partition: Locate returns nil (unconstrained), the cost model lets
+	// the transaction place it at its home partition, and the router sends
+	// its INSERT wherever the transaction already is. Takes precedence
+	// over Default.
+	Floating bool
+	// KeyColumn maps table -> key column name for routing.
+	KeyColumn map[string]string
+}
+
+// Name implements Strategy.
+func (l *Lookup) Name() string { return "lookup-table" }
+
+// Complexity implements Strategy.
+func (l *Lookup) Complexity() int { return 2 }
+
+// NumPartitions implements Strategy.
+func (l *Lookup) NumPartitions() int { return l.K }
+
+// Locate implements Strategy. A nil result means "unconstrained": the
+// tuple is new and can be created wherever the transaction runs.
+func (l *Lookup) Locate(id workload.TupleID, row Row) []int {
+	if t, ok := l.Tables[id.Table]; ok {
+		if parts, ok := t.Locate(id.Key); ok {
+			return parts
+		}
+	}
+	if l.Floating {
+		return nil
+	}
+	if l.Default != nil {
+		return l.Default
+	}
+	return []int{int(datum.Hash(datum.NewInt(id.Key)) % uint64(l.K))}
+}
+
+// RouteStmt implements Strategy: equality constraints on the key column
+// resolve through the lookup table; everything else broadcasts.
+func (l *Lookup) RouteStmt(table string, cons []sqlparse.Constraint, routable bool) Route {
+	t, ok := l.Tables[table]
+	keyCol := l.KeyColumn[table]
+	if !ok || !routable || keyCol == "" {
+		return broadcast(l.K)
+	}
+	for _, c := range cons {
+		if c.Table != table || c.Column != keyCol || len(c.Eq) == 0 {
+			continue
+		}
+		// Intersection of per-key replica sets serves the whole read;
+		// union is what writes must touch. Floating (new) keys do not
+		// constrain either.
+		var inter map[int]bool
+		union := map[int]bool{}
+		known := 0
+		for _, v := range c.Eq {
+			k, ok := v.AsInt()
+			if !ok {
+				return broadcast(l.K)
+			}
+			parts, found := t.Locate(k)
+			if !found {
+				if l.Floating {
+					continue
+				}
+				if l.Default != nil {
+					parts = l.Default
+				} else {
+					parts = []int{int(datum.Hash(datum.NewInt(k)) % uint64(l.K))}
+				}
+			}
+			known++
+			cur := map[int]bool{}
+			for _, p := range parts {
+				cur[p] = true
+				union[p] = true
+			}
+			if inter == nil {
+				inter = cur
+			} else {
+				for p := range inter {
+					if !cur[p] {
+						delete(inter, p)
+					}
+				}
+			}
+		}
+		if known == 0 {
+			// Every key is new: any single partition may host them.
+			return Route{Single: allParts(l.K)}
+		}
+		return Route{Single: keys(inter), All: keys(union)}
+	}
+	return broadcast(l.K)
+}
+
+func broadcast(k int) Route { return Route{All: allParts(k)} }
+
+func allParts(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func keys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

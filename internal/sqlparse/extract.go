@@ -1,0 +1,240 @@
+package sqlparse
+
+import (
+	"schism/internal/datum"
+)
+
+// ColumnUse records one appearance of a column in a WHERE clause, used by
+// the explanation phase to mine the frequent attribute set (§5.2).
+type ColumnUse struct {
+	Table  string // resolved table name ("" if ambiguous)
+	Column string
+	Op     CompareOp
+}
+
+// WhereColumns lists every column referenced in the statement's WHERE
+// clause (and join predicates), resolving unqualified references to the
+// statement's primary table. IN and BETWEEN report OpEq / range ops.
+func WhereColumns(stmt Statement) []ColumnUse {
+	var table string
+	var where Expr
+	var join *Join
+	switch s := stmt.(type) {
+	case *Select:
+		table, where, join = s.Table, s.Where, s.Join
+	case *Update:
+		table, where = s.Table, s.Where
+	case *Delete:
+		table, where = s.Table, s.Where
+	case *Insert:
+		// INSERT names every inserted column with an equality "use".
+		uses := make([]ColumnUse, 0, len(s.Cols))
+		for _, c := range s.Cols {
+			uses = append(uses, ColumnUse{Table: s.Table, Column: c, Op: OpEq})
+		}
+		return uses
+	default:
+		return nil
+	}
+	var uses []ColumnUse
+	resolve := func(c ColRef) string {
+		if c.Table != "" {
+			return c.Table
+		}
+		return table
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *And:
+			walk(x.L)
+			walk(x.R)
+		case *Or:
+			walk(x.L)
+			walk(x.R)
+		case *Compare:
+			uses = append(uses, ColumnUse{Table: resolve(x.Col), Column: x.Col.Column, Op: x.Op})
+			if x.Col2 != nil {
+				uses = append(uses, ColumnUse{Table: resolve(*x.Col2), Column: x.Col2.Column, Op: x.Op})
+			}
+		case *In:
+			uses = append(uses, ColumnUse{Table: resolve(x.Col), Column: x.Col.Column, Op: OpEq})
+		case *Between:
+			uses = append(uses, ColumnUse{Table: resolve(x.Col), Column: x.Col.Column, Op: OpLe})
+		}
+	}
+	if where != nil {
+		walk(where)
+	}
+	if join != nil {
+		uses = append(uses,
+			ColumnUse{Table: resolve(join.Left), Column: join.Left.Column, Op: OpEq},
+			ColumnUse{Table: resolve(join.Right), Column: join.Right.Column, Op: OpEq})
+	}
+	return uses
+}
+
+// Constraint is a routing-relevant restriction on a single column extracted
+// from a conjunctive WHERE clause (App. C.2).
+type Constraint struct {
+	Table  string
+	Column string
+	// Eq holds the allowed values when the constraint is an equality or IN
+	// list; nil when the constraint is a range.
+	Eq []datum.D
+	// Lo/Hi bound range constraints; either may be nil (unbounded).
+	// LoStrict/HiStrict mark exclusive bounds.
+	Lo, Hi             *datum.D
+	LoStrict, HiStrict bool
+}
+
+// Constraints extracts per-column constraints from a statement's WHERE
+// clause. Only the top-level conjunction is analysed; any OR makes the
+// statement unroutable-by-predicate and yields ok=false, telling the router
+// to broadcast (the paper's fallback, App. C.2). Placeholder values (?)
+// also yield ok=false.
+func Constraints(stmt Statement) (table string, cons []Constraint, ok bool) {
+	var where Expr
+	switch s := stmt.(type) {
+	case *Select:
+		table, where = s.Table, s.Where
+	case *Update:
+		table, where = s.Table, s.Where
+	case *Delete:
+		table, where = s.Table, s.Where
+	case *Insert:
+		cons = make([]Constraint, 0, len(s.Cols))
+		for i, c := range s.Cols {
+			if s.Values[i].IsNull() {
+				return s.Table, nil, false
+			}
+			cons = append(cons, Constraint{Table: s.Table, Column: c, Eq: []datum.D{s.Values[i]}})
+		}
+		return s.Table, cons, true
+	default:
+		return "", nil, false
+	}
+	if where == nil {
+		return table, nil, true
+	}
+	ok = true
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if !ok {
+			return
+		}
+		switch x := e.(type) {
+		case *And:
+			walk(x.L)
+			walk(x.R)
+		case *Or:
+			ok = false
+		case *Compare:
+			if x.Col2 != nil {
+				// Join predicate: constrains no literal value.
+				return
+			}
+			if x.Value.IsNull() {
+				ok = false
+				return
+			}
+			tbl := x.Col.Table
+			if tbl == "" {
+				tbl = table
+			}
+			c := Constraint{Table: tbl, Column: x.Col.Column}
+			v := x.Value
+			switch x.Op {
+			case OpEq:
+				c.Eq = []datum.D{v}
+			case OpNe:
+				return // not routing-relevant
+			case OpLt:
+				c.Hi, c.HiStrict = &v, true
+			case OpLe:
+				c.Hi = &v
+			case OpGt:
+				c.Lo, c.LoStrict = &v, true
+			case OpGe:
+				c.Lo = &v
+			}
+			cons = append(cons, c)
+		case *In:
+			for _, v := range x.Values {
+				if v.IsNull() {
+					ok = false
+					return
+				}
+			}
+			tbl := x.Col.Table
+			if tbl == "" {
+				tbl = table
+			}
+			cons = append(cons, Constraint{Table: tbl, Column: x.Col.Column, Eq: x.Values})
+		case *Between:
+			if x.Lo.IsNull() || x.Hi.IsNull() {
+				ok = false
+				return
+			}
+			tbl := x.Col.Table
+			if tbl == "" {
+				tbl = table
+			}
+			lo, hi := x.Lo, x.Hi
+			cons = append(cons, Constraint{Table: tbl, Column: x.Col.Column, Lo: &lo, Hi: &hi})
+		}
+	}
+	walk(where)
+	if !ok {
+		return table, nil, false
+	}
+	return table, cons, true
+}
+
+// EvalWhere evaluates a WHERE expression against a row, where lookup
+// returns the value of a column (resolving unqualified names). A nil
+// expression is true.
+func EvalWhere(e Expr, lookup func(ColRef) datum.D) bool {
+	if e == nil {
+		return true
+	}
+	switch x := e.(type) {
+	case *And:
+		return EvalWhere(x.L, lookup) && EvalWhere(x.R, lookup)
+	case *Or:
+		return EvalWhere(x.L, lookup) || EvalWhere(x.R, lookup)
+	case *Compare:
+		lv := lookup(x.Col)
+		rv := x.Value
+		if x.Col2 != nil {
+			rv = lookup(*x.Col2)
+		}
+		cmp := datum.Compare(lv, rv)
+		switch x.Op {
+		case OpEq:
+			return cmp == 0
+		case OpNe:
+			return cmp != 0
+		case OpLt:
+			return cmp < 0
+		case OpLe:
+			return cmp <= 0
+		case OpGt:
+			return cmp > 0
+		case OpGe:
+			return cmp >= 0
+		}
+	case *In:
+		lv := lookup(x.Col)
+		for _, v := range x.Values {
+			if datum.Equal(lv, v) {
+				return true
+			}
+		}
+		return false
+	case *Between:
+		lv := lookup(x.Col)
+		return datum.Compare(lv, x.Lo) >= 0 && datum.Compare(lv, x.Hi) <= 0
+	}
+	return false
+}

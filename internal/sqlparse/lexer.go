@@ -1,0 +1,120 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// OLTP SQL subset used by Schism traces (§5.3): single-table SELECT /
+// UPDATE / INSERT / DELETE with conjunctive WHERE clauses (=, <, <=, >, >=,
+// !=, BETWEEN, IN), one optional equi-join, ORDER BY and LIMIT. It also
+// provides WHERE-attribute extraction for the explanation phase (§5.2) and
+// constraint extraction for the middleware router (App. C.2).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+	tokPlaceholder
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises the input, returning an error for unterminated strings or
+// unexpected bytes.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		case c >= '0' && c <= '9' || (c == '-' && l.peekDigit()):
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		case c == '\'':
+			start := l.pos
+			l.pos++
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '\'' {
+					// '' escapes a quote.
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string at %d", start)
+			}
+			l.emit(tokString, sb.String(), start)
+		case c == '?':
+			l.emit(tokPlaceholder, "?", l.pos)
+			l.pos++
+		case strings.IndexByte("=<>!(),.*+-;", c) >= 0:
+			start := l.pos
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "<=", ">=", "!=", "<>":
+				l.pos += 2
+				l.emit(tokPunct, two, start)
+			default:
+				l.pos++
+				l.emit(tokPunct, string(c), start)
+			}
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected byte %q at %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) peekDigit() bool {
+	return l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }

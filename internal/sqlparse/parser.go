@@ -1,0 +1,497 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"schism/internal/datum"
+)
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// MustParse parses or panics; for tests and static workload definitions.
+func MustParse(src string) Statement {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: %s (at %q, pos %d)", fmt.Sprintf(format, args...), p.peek().text, p.peek().pos)
+}
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) bool {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.peek().kind == tokPunct && p.peek().text == s {
+		p.next()
+		return nil
+	}
+	return p.errorf("expected %q", s)
+}
+
+func (p *parser) ident() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", p.errorf("expected identifier")
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errorf("expected statement keyword")
+	}
+	switch strings.ToUpper(t.text) {
+	case "SELECT":
+		return p.parseSelect()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "INSERT":
+		return p.parseInsert()
+	case "DELETE":
+		return p.parseDelete()
+	case "BEGIN", "START":
+		p.next()
+		p.keyword("TRANSACTION")
+		return &Begin{}, nil
+	case "COMMIT":
+		p.next()
+		return &Commit{}, nil
+	case "ROLLBACK", "ABORT":
+		p.next()
+		return &Rollback{}, nil
+	}
+	return nil, p.errorf("unsupported statement %q", t.text)
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	p.next() // SELECT
+	s := &Select{Limit: -1}
+	if p.peek().kind == tokPunct && p.peek().text == "*" {
+		p.next()
+	} else {
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			s.Cols = append(s.Cols, c)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = tbl
+	if p.keyword("JOIN") {
+		j := &Join{}
+		if j.Table, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		if j.Left, err = p.colRef(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		if j.Right, err = p.colRef(); err != nil {
+			return nil, err
+		}
+		s.Join = j
+	}
+	if p.keyword("WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		s.OrderBy = &c
+		if p.keyword("DESC") {
+			s.Desc = true
+		} else {
+			p.keyword("ASC")
+		}
+	}
+	if p.keyword("LIMIT") {
+		if p.peek().kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT: %v", err)
+		}
+		s.Limit = n
+	}
+	if p.keyword("FOR") {
+		if err := p.expectKeyword("UPDATE"); err != nil {
+			return nil, err
+		}
+		s.ForUpdate = true
+	}
+	return s, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	s := &Update{}
+	var err error
+	if s.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		a := Assignment{Col: col}
+		// Either a literal, or "col (+|-) literal".
+		if p.peek().kind == tokIdent {
+			ref, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if !strings.EqualFold(ref, col) {
+				return nil, p.errorf("SET %s references %s; only self-references supported", col, ref)
+			}
+			opTok := p.peek()
+			if opTok.kind != tokPunct || (opTok.text != "+" && opTok.text != "-") {
+				return nil, p.errorf("expected + or - after self-reference")
+			}
+			p.next()
+			a.SelfOp = opTok.text[0]
+			if a.Value, err = p.literal(); err != nil {
+				return nil, err
+			}
+		} else {
+			if a.Value, err = p.literal(); err != nil {
+				return nil, err
+			}
+		}
+		s.Set = append(s.Set, a)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.keyword("WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	s := &Insert{}
+	var err error
+	if s.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.Cols = append(s.Cols, col)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		s.Values = append(s.Values, v)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(s.Cols) != len(s.Values) {
+		return nil, p.errorf("INSERT has %d columns but %d values", len(s.Cols), len(s.Values))
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	s := &Delete{}
+	var err error
+	if s.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.keyword("WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// parseExpr parses OR-level expressions.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.peek().kind == tokPunct && p.peek().text == "(" {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	col, err := p.colRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("IN") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		in := &In{Col: col}
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			in.Values = append(in.Values, v)
+			if p.peek().kind == tokPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.keyword("BETWEEN") {
+		lo, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{Col: col, Lo: lo, Hi: hi}, nil
+	}
+	opTok := p.peek()
+	if opTok.kind != tokPunct {
+		return nil, p.errorf("expected comparison operator")
+	}
+	var op CompareOp
+	switch opTok.text {
+	case "=":
+		op = OpEq
+	case "!=", "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return nil, p.errorf("unsupported operator %q", opTok.text)
+	}
+	p.next()
+	// Right side: literal or column reference (join predicate).
+	if p.peek().kind == tokIdent {
+		rc, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Col: col, Op: op, Col2: &rc}, nil
+	}
+	v, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Col: col, Op: op, Value: v}, nil
+}
+
+// colRef parses "col" or "table.col".
+func (p *parser) colRef() (ColRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == "." {
+		p.next()
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: name, Column: col}, nil
+	}
+	return ColRef{Column: name}, nil
+}
+
+// literal parses a number, string, or placeholder (? becomes NULL, which
+// the router treats as "unknown value").
+func (p *parser) literal() (datum.D, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return datum.NullD, p.errorf("bad float %q", t.text)
+			}
+			return datum.NewFloat(f), nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return datum.NullD, p.errorf("bad int %q", t.text)
+		}
+		return datum.NewInt(v), nil
+	case tokString:
+		p.next()
+		return datum.NewString(t.text), nil
+	case tokPlaceholder:
+		p.next()
+		return datum.NullD, nil
+	case tokIdent:
+		if strings.EqualFold(t.text, "NULL") {
+			p.next()
+			return datum.NullD, nil
+		}
+	}
+	return datum.NullD, p.errorf("expected literal")
+}

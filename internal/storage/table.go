@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"schism/internal/datum"
+)
+
+// ColType enumerates column types.
+type ColType int
+
+// Column types.
+const (
+	IntCol ColType = iota
+	FloatCol
+	StringCol
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// TableSchema describes a table: its columns, the name of its int64
+// primary-key column, and optional secondary hash indexes.
+type TableSchema struct {
+	Name    string
+	Columns []Column
+	// Key names the primary-key column, which must be IntCol. Composite
+	// logical keys are encoded into the int64 by the workload generator.
+	Key string
+	// Indexes lists columns to maintain single-column hash indexes on.
+	Indexes []string
+
+	colIdx map[string]int
+	keyIdx int
+}
+
+// init validates the schema and builds the column index.
+func (s *TableSchema) init() error {
+	s.colIdx = make(map[string]int, len(s.Columns))
+	for i, c := range s.Columns {
+		if _, dup := s.colIdx[c.Name]; dup {
+			return fmt.Errorf("storage: duplicate column %q in %q", c.Name, s.Name)
+		}
+		s.colIdx[c.Name] = i
+	}
+	ki, ok := s.colIdx[s.Key]
+	if !ok {
+		return fmt.Errorf("storage: key column %q missing in %q", s.Key, s.Name)
+	}
+	if s.Columns[ki].Type != IntCol {
+		return fmt.Errorf("storage: key column %q must be IntCol", s.Key)
+	}
+	s.keyIdx = ki
+	for _, idx := range s.Indexes {
+		if _, ok := s.colIdx[idx]; !ok {
+			return fmt.Errorf("storage: index column %q missing in %q", idx, s.Name)
+		}
+	}
+	return nil
+}
+
+// ColIndex returns the position of a column, or -1.
+func (s *TableSchema) ColIndex(name string) int {
+	if i, ok := s.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// KeyIndex returns the position of the primary-key column.
+func (s *TableSchema) KeyIndex() int { return s.keyIdx }
+
+// Row is one tuple's values, positionally matching the schema columns.
+type Row []datum.D
+
+// Clone copies the row (rows handed to callers must not alias storage).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is a B+tree-ordered heap of rows keyed by primary key.
+type Table struct {
+	Schema *TableSchema
+	tree   *btree
+	// secondary[col] maps value-hash -> keys (collisions resolved by
+	// re-checking the row).
+	secondary map[string]map[uint64][]int64
+	sizeBytes int64
+}
+
+func newTable(schema *TableSchema) *Table {
+	t := &Table{Schema: schema, tree: newBTree()}
+	if len(schema.Indexes) > 0 {
+		t.secondary = make(map[string]map[uint64][]int64, len(schema.Indexes))
+		for _, c := range schema.Indexes {
+			t.secondary[c] = make(map[uint64][]int64)
+		}
+	}
+	return t
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.tree.Len() }
+
+// SizeBytes returns the approximate total size of stored rows.
+func (t *Table) SizeBytes() int64 { return t.sizeBytes }
+
+// Insert adds a row; the key is taken from the row's key column. It fails
+// on duplicate keys or arity/type mismatch.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("storage: row arity %d != %d for %q", len(row), len(t.Schema.Columns), t.Schema.Name)
+	}
+	key, ok := row[t.Schema.keyIdx].AsInt()
+	if !ok {
+		return fmt.Errorf("storage: non-integer key in %q", t.Schema.Name)
+	}
+	if _, exists := t.tree.get(key); exists {
+		return fmt.Errorf("storage: duplicate key %d in %q", key, t.Schema.Name)
+	}
+	r := row.Clone()
+	t.tree.set(key, r)
+	t.sizeBytes += rowSize(r)
+	t.indexAdd(key, r)
+	return nil
+}
+
+// Get returns a copy of the row under key.
+func (t *Table) Get(key int64) (Row, bool) {
+	r, ok := t.tree.get(key)
+	if !ok {
+		return nil, false
+	}
+	return r.Clone(), true
+}
+
+// Update replaces the row under key (which must exist). The new row must
+// keep the same key.
+func (t *Table) Update(key int64, row Row) error {
+	old, ok := t.tree.get(key)
+	if !ok {
+		return fmt.Errorf("storage: update of missing key %d in %q", key, t.Schema.Name)
+	}
+	nk, _ := row[t.Schema.keyIdx].AsInt()
+	if nk != key {
+		return fmt.Errorf("storage: update may not change key (%d -> %d)", key, nk)
+	}
+	t.indexRemove(key, old)
+	t.sizeBytes -= rowSize(old)
+	r := row.Clone()
+	t.tree.set(key, r)
+	t.sizeBytes += rowSize(r)
+	t.indexAdd(key, r)
+	return nil
+}
+
+// Delete removes the row under key, reporting whether it existed.
+func (t *Table) Delete(key int64) bool {
+	old, ok := t.tree.get(key)
+	if !ok {
+		return false
+	}
+	t.indexRemove(key, old)
+	t.sizeBytes -= rowSize(old)
+	return t.tree.delete(key)
+}
+
+// Scan visits rows with keys in [lo, hi] in key order; fn returning false
+// stops. The row passed to fn must not be retained or mutated.
+func (t *Table) Scan(lo, hi int64, fn func(key int64, row Row) bool) {
+	t.tree.ascend(lo, hi, fn)
+}
+
+// ScanAll visits every row in key order.
+func (t *Table) ScanAll(fn func(key int64, row Row) bool) {
+	t.tree.ascendAll(fn)
+}
+
+// LookupIndex returns the keys of rows whose indexed column equals v.
+// The column must be listed in Schema.Indexes.
+func (t *Table) LookupIndex(col string, v datum.D) []int64 {
+	idx, ok := t.secondary[col]
+	if !ok {
+		return nil
+	}
+	ci := t.Schema.ColIndex(col)
+	var out []int64
+	for _, key := range idx[datum.Hash(v)] {
+		if r, ok := t.tree.get(key); ok && datum.Equal(r[ci], v) {
+			out = append(out, key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasIndex reports whether col has a secondary index.
+func (t *Table) HasIndex(col string) bool {
+	_, ok := t.secondary[col]
+	return ok
+}
+
+func (t *Table) indexAdd(key int64, row Row) {
+	for col, idx := range t.secondary {
+		h := datum.Hash(row[t.Schema.ColIndex(col)])
+		idx[h] = append(idx[h], key)
+	}
+}
+
+func (t *Table) indexRemove(key int64, row Row) {
+	for col, idx := range t.secondary {
+		h := datum.Hash(row[t.Schema.ColIndex(col)])
+		keys := idx[h]
+		for i, k := range keys {
+			if k == key {
+				idx[h] = append(keys[:i], keys[i+1:]...)
+				break
+			}
+		}
+		if len(idx[h]) == 0 {
+			delete(idx, h)
+		}
+	}
+}
+
+func rowSize(r Row) int64 {
+	var s int64
+	for _, d := range r {
+		s += d.Size()
+	}
+	return s
+}
+
+// RowView adapts a stored row to a column-name getter (the Row interface
+// of the partition package).
+type RowView struct {
+	Schema *TableSchema
+	Data   Row
+}
+
+// Get returns the named column's value (NULL if the column is unknown).
+func (v RowView) Get(col string) datum.D {
+	i := v.Schema.ColIndex(col)
+	if i < 0 || i >= len(v.Data) {
+		return datum.NullD
+	}
+	return v.Data[i]
+}

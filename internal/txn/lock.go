@@ -1,0 +1,249 @@
+// Package txn provides the concurrency-control substrate for the cluster
+// simulator: a strict two-phase-locking row lock manager with wait-die
+// deadlock avoidance. Wait-die uses globally ordered transaction
+// timestamps, so no deadlock can form even across nodes — the paper (§3)
+// names distributed deadlocks as one of the costs of distributed
+// transactions; wait-die converts them into (observable, counted) aborts.
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TS is a transaction's globally unique timestamp; smaller is older, and
+// older transactions have priority under wait-die.
+type TS uint64
+
+// Clock allocates transaction timestamps.
+type Clock struct{ c atomic.Uint64 }
+
+// Next returns the next timestamp.
+func (c *Clock) Next() TS { return TS(c.c.Add(1)) }
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// LockKey identifies a lockable row.
+type LockKey struct {
+	Table string
+	Key   int64
+}
+
+// Errors returned by Acquire.
+var (
+	// ErrDie means the requester is younger than a conflicting holder and
+	// must abort and retry with the SAME timestamp (wait-die).
+	ErrDie = errors.New("txn: wait-die abort")
+	// ErrTimeout means the lock wait exceeded the manager's bound.
+	ErrTimeout = errors.New("txn: lock wait timeout")
+)
+
+// LockManager is a per-node row lock table.
+type LockManager struct {
+	mu      sync.Mutex
+	locks   map[LockKey]*lockState
+	byTxn   map[TS]map[LockKey]struct{}
+	maxWait time.Duration
+}
+
+type lockState struct {
+	holders map[TS]Mode
+	queue   []*waiter
+}
+
+type waiter struct {
+	ts    TS
+	mode  Mode
+	ready chan error
+}
+
+// NewLockManager returns a lock manager; maxWait bounds each lock wait
+// (0 means a 10s default).
+func NewLockManager(maxWait time.Duration) *LockManager {
+	if maxWait <= 0 {
+		maxWait = 10 * time.Second
+	}
+	return &LockManager{
+		locks:   make(map[LockKey]*lockState),
+		byTxn:   make(map[TS]map[LockKey]struct{}),
+		maxWait: maxWait,
+	}
+}
+
+// Acquire takes the lock in the given mode for transaction ts, blocking if
+// wait-die permits waiting. It is idempotent for already-held locks of the
+// same or stronger mode, and upgrades Shared->Exclusive when possible.
+func (lm *LockManager) Acquire(ts TS, key LockKey, mode Mode) error {
+	lm.mu.Lock()
+	ls := lm.locks[key]
+	if ls == nil {
+		ls = &lockState{holders: make(map[TS]Mode)}
+		lm.locks[key] = ls
+	}
+	if held, ok := ls.holders[ts]; ok {
+		if held == Exclusive || mode == Shared {
+			lm.mu.Unlock()
+			return nil
+		}
+		// Upgrade request: conflicts with every OTHER holder.
+	}
+	if lm.grantable(ls, ts, mode) {
+		lm.grant(ls, ts, key, mode)
+		lm.mu.Unlock()
+		return nil
+	}
+	// Wait-die: wait only if older (smaller ts) than every conflicting
+	// holder; otherwise die immediately.
+	for hts, hmode := range ls.holders {
+		if hts == ts {
+			continue
+		}
+		if conflicts(hmode, mode) && ts > hts {
+			lm.mu.Unlock()
+			return ErrDie
+		}
+	}
+	w := &waiter{ts: ts, mode: mode, ready: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	lm.mu.Unlock()
+
+	timer := time.NewTimer(lm.maxWait)
+	defer timer.Stop()
+	select {
+	case err := <-w.ready:
+		return err
+	case <-timer.C:
+		lm.mu.Lock()
+		// Remove from queue if still present; if a grant raced with the
+		// timeout, honour the grant.
+		for i, q := range ls.queue {
+			if q == w {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				lm.mu.Unlock()
+				return ErrTimeout
+			}
+		}
+		lm.mu.Unlock()
+		return <-w.ready
+	}
+}
+
+// grantable reports whether ts may take the lock in mode right now. Queued
+// waiters block new grants (FIFO fairness) except for re-entrant holders.
+func (lm *LockManager) grantable(ls *lockState, ts TS, mode Mode) bool {
+	for _, w := range ls.queue {
+		if w.ts != ts && conflicts(w.mode, mode) {
+			return false
+		}
+	}
+	for hts, hmode := range ls.holders {
+		if hts == ts {
+			continue
+		}
+		if conflicts(hmode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lm *LockManager) grant(ls *lockState, ts TS, key LockKey, mode Mode) {
+	if cur, ok := ls.holders[ts]; ok && cur == Exclusive {
+		mode = Exclusive // never downgrade
+	}
+	ls.holders[ts] = mode
+	keys := lm.byTxn[ts]
+	if keys == nil {
+		keys = make(map[LockKey]struct{})
+		lm.byTxn[ts] = keys
+	}
+	keys[key] = struct{}{}
+}
+
+func conflicts(a, b Mode) bool { return a == Exclusive || b == Exclusive }
+
+// ReleaseAll drops every lock held by ts and wakes eligible waiters.
+func (lm *LockManager) ReleaseAll(ts TS) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	keys := lm.byTxn[ts]
+	delete(lm.byTxn, ts)
+	for key := range keys {
+		ls := lm.locks[key]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, ts)
+		// Also drop any queued waiter for ts (a txn aborting while a
+		// concurrent statement waits).
+		for i := 0; i < len(ls.queue); {
+			if ls.queue[i].ts == ts {
+				ls.queue[i].ready <- ErrDie
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				continue
+			}
+			i++
+		}
+		lm.wake(ls, key)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(lm.locks, key)
+		}
+	}
+}
+
+// wake grants queued waiters in FIFO order while they remain compatible,
+// then re-applies wait-die to the waiters left behind: a waiter younger
+// than a conflicting CURRENT holder must die, or the young-waits-on-old
+// edge it now represents could close a deadlock cycle that wait-die's
+// ordering argument forbids.
+func (lm *LockManager) wake(ls *lockState, key LockKey) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		ok := true
+		for hts, hmode := range ls.holders {
+			if hts != w.ts && conflicts(hmode, w.mode) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		lm.grant(ls, w.ts, key, w.mode)
+		w.ready <- nil
+	}
+	for i := 0; i < len(ls.queue); {
+		w := ls.queue[i]
+		die := false
+		for hts, hmode := range ls.holders {
+			if hts != w.ts && conflicts(hmode, w.mode) && w.ts > hts {
+				die = true
+				break
+			}
+		}
+		if die {
+			w.ready <- ErrDie
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// HeldLocks returns the number of locks ts currently holds (for tests and
+// metrics).
+func (lm *LockManager) HeldLocks(ts TS) int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.byTxn[ts])
+}

@@ -1,0 +1,213 @@
+// Package workload models OLTP workload traces: the set of tuples read and
+// written by each transaction, plus the SQL text the transaction executed.
+//
+// A trace is the primary input to the Schism pipeline (the paper's "SQL
+// trace", Section 2). Generators in internal/workloads produce traces with
+// ground-truth read/write sets; internal/sqlparse can re-derive access sets
+// from the SQL text to exercise the paper's trace-extraction path (§5.3).
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TupleID identifies a tuple globally by table name and primary key.
+// All tables in this system use a dense int64 surrogate key; composite
+// keys are encoded into the int64 by the workload generator.
+type TupleID struct {
+	Table string
+	Key   int64
+}
+
+func (t TupleID) String() string { return fmt.Sprintf("%s:%d", t.Table, t.Key) }
+
+// Less orders TupleIDs by (Table, Key); used for deterministic iteration.
+func (t TupleID) Less(o TupleID) bool {
+	if t.Table != o.Table {
+		return t.Table < o.Table
+	}
+	return t.Key < o.Key
+}
+
+// Access records one tuple touched by a transaction and whether it was
+// written (INSERT, UPDATE or DELETE) or only read.
+type Access struct {
+	Tuple TupleID
+	Write bool
+}
+
+// Txn is one transaction in the trace: its access set and, optionally, the
+// SQL statements it executed (used by the explanation phase to mine
+// frequently used WHERE attributes, §5.2).
+type Txn struct {
+	ID       int
+	Accesses []Access
+	SQL      []string
+}
+
+// Tuples returns the distinct tuples accessed by the transaction, in
+// deterministic order. If a tuple is both read and written it appears once.
+func (t *Txn) Tuples() []TupleID {
+	seen := make(map[TupleID]struct{}, len(t.Accesses))
+	out := make([]TupleID, 0, len(t.Accesses))
+	for _, a := range t.Accesses {
+		if _, ok := seen[a.Tuple]; ok {
+			continue
+		}
+		seen[a.Tuple] = struct{}{}
+		out = append(out, a.Tuple)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// WriteSet returns the distinct tuples written by the transaction.
+func (t *Txn) WriteSet() []TupleID {
+	seen := make(map[TupleID]struct{})
+	var out []TupleID
+	for _, a := range t.Accesses {
+		if !a.Write {
+			continue
+		}
+		if _, ok := seen[a.Tuple]; ok {
+			continue
+		}
+		seen[a.Tuple] = struct{}{}
+		out = append(out, a.Tuple)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ReadSet returns the distinct tuples the transaction reads (including
+// tuples it also writes: a read-modify-write counts in both sets).
+func (t *Txn) ReadSet() []TupleID {
+	seen := make(map[TupleID]struct{})
+	var out []TupleID
+	for _, a := range t.Accesses {
+		if a.Write {
+			continue
+		}
+		if _, ok := seen[a.Tuple]; ok {
+			continue
+		}
+		seen[a.Tuple] = struct{}{}
+		out = append(out, a.Tuple)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Writes reports whether the transaction writes the given tuple.
+func (t *Txn) Writes(id TupleID) bool {
+	for _, a := range t.Accesses {
+		if a.Write && a.Tuple == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadOnly reports whether the transaction performs no writes.
+func (t *Txn) ReadOnly() bool {
+	for _, a := range t.Accesses {
+		if a.Write {
+			return false
+		}
+	}
+	return true
+}
+
+// Trace is an ordered collection of transactions, as captured from a
+// workload log.
+type Trace struct {
+	Txns []*Txn
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Add appends a transaction, assigning it the next sequential ID.
+func (tr *Trace) Add(accesses []Access, sql ...string) *Txn {
+	t := &Txn{ID: len(tr.Txns), Accesses: accesses, SQL: sql}
+	tr.Txns = append(tr.Txns, t)
+	return t
+}
+
+// Len returns the number of transactions in the trace.
+func (tr *Trace) Len() int { return len(tr.Txns) }
+
+// Split divides the trace into a training prefix and testing suffix.
+// trainFrac is clamped to [0,1].
+func (tr *Trace) Split(trainFrac float64) (train, test *Trace) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	n := int(float64(len(tr.Txns)) * trainFrac)
+	return &Trace{Txns: tr.Txns[:n]}, &Trace{Txns: tr.Txns[n:]}
+}
+
+// Stats summarises per-tuple access behaviour over a trace.
+type Stats struct {
+	// Reads and Writes count transactions (not statements) that read or
+	// wrote each tuple.
+	Reads  map[TupleID]int
+	Writes map[TupleID]int
+	// TxnCount is the number of transactions in the trace.
+	TxnCount int
+}
+
+// Accesses returns reads+writes for the tuple.
+func (s *Stats) Accesses(id TupleID) int { return s.Reads[id] + s.Writes[id] }
+
+// Tuples returns all tuples observed, in deterministic order.
+func (s *Stats) Tuples() []TupleID {
+	seen := make(map[TupleID]struct{}, len(s.Reads)+len(s.Writes))
+	var out []TupleID
+	for id := range s.Reads {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	for id := range s.Writes {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ComputeStats scans the trace once and aggregates per-tuple counts.
+// A transaction that accesses a tuple several times counts once per kind.
+func ComputeStats(tr *Trace) *Stats {
+	s := &Stats{
+		Reads:    make(map[TupleID]int),
+		Writes:   make(map[TupleID]int),
+		TxnCount: len(tr.Txns),
+	}
+	for _, t := range tr.Txns {
+		reads := make(map[TupleID]bool)
+		writes := make(map[TupleID]bool)
+		for _, a := range t.Accesses {
+			if a.Write {
+				writes[a.Tuple] = true
+			} else {
+				reads[a.Tuple] = true
+			}
+		}
+		for id := range reads {
+			s.Reads[id]++
+		}
+		for id := range writes {
+			s.Writes[id]++
+		}
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tid(k int64) TupleID { return TupleID{Table: "t", Key: k} }
+
+func TestTxnSets(t *testing.T) {
+	tr := NewTrace()
+	txn := tr.Add([]Access{
+		{Tuple: tid(1)},
+		{Tuple: tid(2), Write: true},
+		{Tuple: tid(1)}, // duplicate read
+		{Tuple: tid(2), Write: true},
+		{Tuple: tid(3)},
+	})
+	if got := len(txn.Tuples()); got != 3 {
+		t.Errorf("Tuples = %d distinct, want 3", got)
+	}
+	if got := len(txn.WriteSet()); got != 1 {
+		t.Errorf("WriteSet = %d, want 1", got)
+	}
+	if got := len(txn.ReadSet()); got != 2 {
+		t.Errorf("ReadSet = %d, want 2", got)
+	}
+	if !txn.Writes(tid(2)) || txn.Writes(tid(1)) {
+		t.Error("Writes misreports")
+	}
+	if txn.ReadOnly() {
+		t.Error("txn has a write; ReadOnly must be false")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	tr := NewTrace()
+	for i := int64(0); i < 10; i++ {
+		tr.Add([]Access{{Tuple: tid(i)}})
+	}
+	train, test := tr.Split(0.7)
+	if train.Len() != 7 || test.Len() != 3 {
+		t.Fatalf("split = %d/%d, want 7/3", train.Len(), test.Len())
+	}
+	train, test = tr.Split(1.5)
+	if train.Len() != 10 || test.Len() != 0 {
+		t.Fatal("split should clamp trainFrac to 1")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := NewTrace()
+	tr.Add([]Access{{Tuple: tid(1)}, {Tuple: tid(1)}})              // read x2 counts once
+	tr.Add([]Access{{Tuple: tid(1), Write: true}, {Tuple: tid(2)}}) // write 1, read 2
+	s := ComputeStats(tr)
+	if s.Reads[tid(1)] != 1 || s.Writes[tid(1)] != 1 {
+		t.Errorf("tuple 1 stats = %d reads %d writes, want 1/1", s.Reads[tid(1)], s.Writes[tid(1)])
+	}
+	if s.Accesses(tid(2)) != 1 {
+		t.Errorf("tuple 2 accesses = %d, want 1", s.Accesses(tid(2)))
+	}
+	if got := len(s.Tuples()); got != 2 {
+		t.Errorf("distinct tuples = %d, want 2", got)
+	}
+}
+
+func TestSampleTxnsRate(t *testing.T) {
+	tr := NewTrace()
+	for i := int64(0); i < 1000; i++ {
+		tr.Add([]Access{{Tuple: tid(i)}})
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := SampleTxns(tr, 0.3, rng)
+	if s.Len() < 200 || s.Len() > 400 {
+		t.Errorf("sampled %d of 1000 at rate 0.3", s.Len())
+	}
+	if SampleTxns(tr, 1.0, rng).Len() != 1000 {
+		t.Error("rate 1.0 must keep everything")
+	}
+}
+
+func TestSampleTuplesConsistency(t *testing.T) {
+	// A tuple must be uniformly kept or dropped across ALL transactions.
+	tr := NewTrace()
+	for i := 0; i < 100; i++ {
+		tr.Add([]Access{{Tuple: tid(1)}, {Tuple: tid(int64(i))}})
+	}
+	rng := rand.New(rand.NewSource(2))
+	s := SampleTuples(tr, 0.5, rng)
+	count := 0
+	for _, txn := range s.Txns {
+		for _, a := range txn.Accesses {
+			if a.Tuple == tid(1) {
+				count++
+				break
+			}
+		}
+	}
+	if count != 0 && count != 100 {
+		t.Errorf("tuple 1 kept in %d txns; must be all-or-nothing", count)
+	}
+}
+
+func TestFilterBlanket(t *testing.T) {
+	tr := NewTrace()
+	tr.Add([]Access{{Tuple: tid(1)}, {Tuple: tid(2)}})
+	var big []Access
+	for i := int64(0); i < 50; i++ {
+		big = append(big, Access{Tuple: tid(i)})
+	}
+	tr.Add(big)
+	out := FilterBlanket(tr, 10)
+	if out.Len() != 1 {
+		t.Fatalf("FilterBlanket kept %d txns, want 1", out.Len())
+	}
+}
+
+func TestFilterRelevance(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 5; i++ {
+		tr.Add([]Access{{Tuple: tid(1)}, {Tuple: tid(int64(100 + i))}})
+	}
+	out := FilterRelevance(tr, 2)
+	for _, txn := range out.Txns {
+		for _, a := range txn.Accesses {
+			if a.Tuple != tid(1) {
+				t.Errorf("rare tuple %v survived relevance filter", a.Tuple)
+			}
+		}
+	}
+}
+
+// Property: Stats computed after txn sampling never exceed original counts.
+func TestSamplingMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrace()
+		for i := 0; i < 200; i++ {
+			var acc []Access
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				acc = append(acc, Access{Tuple: tid(int64(rng.Intn(50))), Write: rng.Intn(2) == 0})
+			}
+			tr.Add(acc)
+		}
+		full := ComputeStats(tr)
+		sampled := ComputeStats(SampleTxns(tr, 0.5, rng))
+		for id, n := range sampled.Reads {
+			if n > full.Reads[id] {
+				return false
+			}
+		}
+		for id, n := range sampled.Writes {
+			if n > full.Writes[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

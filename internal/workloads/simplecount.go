@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schism/internal/cluster"
+	"schism/internal/datum"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// SimplecountConfig parameterises the §3 microbenchmark: a two-column
+// table read two rows at a time by 150 closed-loop clients.
+type SimplecountConfig struct {
+	// Rows is the table size (the paper uses 150k: 1k per client).
+	Rows int
+	// Partitions is the number of range partitions (row r lives on
+	// partition r / (Rows/Partitions)).
+	Partitions int
+}
+
+// SimplecountSchema returns the simplecount table schema.
+func SimplecountSchema() *storage.TableSchema {
+	return &storage.TableSchema{
+		Name: "simplecount",
+		Columns: []storage.Column{
+			{Name: "id", Type: storage.IntCol},
+			{Name: "counter", Type: storage.IntCol},
+		},
+		Key: "id",
+	}
+}
+
+// SimplecountDB builds one node's slice of the range-partitioned table.
+func SimplecountDB(cfg SimplecountConfig, node int) *storage.Database {
+	db := storage.NewDatabase()
+	tbl := db.MustCreateTable(SimplecountSchema())
+	per := cfg.Rows / cfg.Partitions
+	lo, hi := node*per, (node+1)*per
+	if node == cfg.Partitions-1 {
+		hi = cfg.Rows
+	}
+	for id := lo; id < hi; id++ {
+		if err := tbl.Insert(storage.Row{datum.NewInt(int64(id)), datum.NewInt(0)}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// SimplecountStrategy range-partitions ids evenly (used by the router).
+func SimplecountStrategy(cfg SimplecountConfig) partition.Strategy {
+	per := cfg.Rows / cfg.Partitions
+	rules := make([]partition.RangeRule, 0, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		r := partition.RangeRule{Parts: []int{p}}
+		if p > 0 {
+			r.Conds = append(r.Conds, partition.RangeCond{Column: "id", Op: condGt, Value: datum.NewInt(int64(p*per - 1))})
+		}
+		if p < cfg.Partitions-1 {
+			r.Conds = append(r.Conds, partition.RangeCond{Column: "id", Op: condLe, Value: datum.NewInt(int64((p+1)*per - 1))})
+		}
+		rules = append(rules, r)
+	}
+	return &partition.Range{
+		K:      cfg.Partitions,
+		Tables: map[string]*partition.TableRules{"simplecount": {Table: "simplecount", Rules: rules}},
+	}
+}
+
+// SimplecountTxn returns a TxnFunc issuing two single-row SELECTs. When
+// distributed is false both ids come from the same partition; when true
+// the two ids are guaranteed to live on different partitions (forcing
+// two-phase commit), reproducing the two series of Fig. 1.
+func SimplecountTxn(cfg SimplecountConfig, distributed bool) cluster.TxnFunc {
+	per := cfg.Rows / cfg.Partitions
+	return func(t *cluster.Txn, rng *rand.Rand) error {
+		var id1, id2 int
+		if distributed && cfg.Partitions > 1 {
+			p1 := rng.Intn(cfg.Partitions)
+			p2 := (p1 + 1 + rng.Intn(cfg.Partitions-1)) % cfg.Partitions
+			id1 = p1*per + rng.Intn(per)
+			id2 = p2*per + rng.Intn(per)
+		} else {
+			p := rng.Intn(cfg.Partitions)
+			id1 = p*per + rng.Intn(per)
+			id2 = p*per + rng.Intn(per)
+		}
+		if _, err := t.Exec(fmt.Sprintf("SELECT * FROM simplecount WHERE id = %d", id1)); err != nil {
+			return err
+		}
+		_, err := t.Exec(fmt.Sprintf("SELECT * FROM simplecount WHERE id = %d", id2))
+		return err
+	}
+}
+
+// SimplecountUpdateTxn is the update variant the paper mentions testing.
+func SimplecountUpdateTxn(cfg SimplecountConfig, distributed bool) cluster.TxnFunc {
+	per := cfg.Rows / cfg.Partitions
+	return func(t *cluster.Txn, rng *rand.Rand) error {
+		var id1, id2 int
+		if distributed && cfg.Partitions > 1 {
+			p1 := rng.Intn(cfg.Partitions)
+			p2 := (p1 + 1 + rng.Intn(cfg.Partitions-1)) % cfg.Partitions
+			id1 = p1*per + rng.Intn(per)
+			id2 = p2*per + rng.Intn(per)
+		} else {
+			p := rng.Intn(cfg.Partitions)
+			id1 = p*per + rng.Intn(per)
+			id2 = p*per + rng.Intn(per)
+		}
+		if _, err := t.Exec(fmt.Sprintf("UPDATE simplecount SET counter = counter + 1 WHERE id = %d", id1)); err != nil {
+			return err
+		}
+		_, err := t.Exec(fmt.Sprintf("UPDATE simplecount SET counter = counter + 1 WHERE id = %d", id2))
+		return err
+	}
+}
+
+// Simplecount builds the workload bundle (for pipeline experiments; the
+// Fig. 1 experiment drives the cluster directly via SimplecountTxn).
+func Simplecount(cfg SimplecountConfig, txns int, seed int64) *Workload {
+	db := storage.NewDatabase()
+	tbl := db.MustCreateTable(SimplecountSchema())
+	for id := 0; id < cfg.Rows; id++ {
+		if err := tbl.Insert(storage.Row{datum.NewInt(int64(id)), datum.NewInt(0)}); err != nil {
+			panic(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := workload.NewTrace()
+	for i := 0; i < txns; i++ {
+		a := rng.Int63n(int64(cfg.Rows))
+		b := rng.Int63n(int64(cfg.Rows))
+		tr.Add(
+			[]workload.Access{
+				{Tuple: workload.TupleID{Table: "simplecount", Key: a}},
+				{Tuple: workload.TupleID{Table: "simplecount", Key: b}},
+			},
+			fmt.Sprintf("SELECT * FROM simplecount WHERE id = %d", a),
+			fmt.Sprintf("SELECT * FROM simplecount WHERE id = %d", b),
+		)
+	}
+	return &Workload{
+		Name:       "SIMPLECOUNT",
+		DB:         db,
+		Trace:      tr,
+		KeyColumns: map[string]string{"simplecount": "id"},
+	}
+}

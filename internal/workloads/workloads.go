@@ -1,0 +1,119 @@
+// Package workloads generates the paper's benchmark databases and traces:
+// the simplecount microbenchmark (§3), YCSB workloads A and E, TPC-C at any
+// warehouse count, a scaled-down TPC-E ("TPC-E-lite"), the Epinions.com
+// social workload, and the adversarial Random workload (App. D).
+//
+// Each generator returns a Workload: the populated database, a transaction
+// trace (ground-truth read/write sets plus the SQL text), per-table key
+// columns, and — where the paper reports one — the best-known manual
+// partitioning strategy for comparison.
+package workloads
+
+import (
+	"schism/internal/dtree"
+	"schism/internal/partition"
+	"schism/internal/sqlparse"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// Local aliases keep rule-building code readable.
+const (
+	condLe = dtree.CondLe
+	condGt = dtree.CondGt
+	condEq = dtree.CondEq
+)
+
+// Workload bundles everything the Schism pipeline needs for one benchmark.
+type Workload struct {
+	// Name identifies the workload in reports (e.g. "TPCC-2W").
+	Name string
+	// DB is the populated single-node image of the database; the pipeline
+	// resolves tuple attribute values from it, and cluster experiments
+	// split it across nodes.
+	DB *storage.Database
+	// Trace is the captured workload (training + testing combined; use
+	// Trace.Split).
+	Trace *workload.Trace
+	// KeyColumns maps each table to its primary-key column name.
+	KeyColumns map[string]string
+	// Manual builds the paper's best-known manual strategy for k
+	// partitions, or nil when none is reported (TPC-E).
+	Manual func(k int) partition.Strategy
+}
+
+// Resolver returns a partition.Resolver that reads tuple attribute values
+// from the workload's database, falling back to "virtual rows" parsed from
+// the trace's INSERT statements for tuples the trace creates. The fallback
+// mirrors the real router (App. C.2), which routes an INSERT by the column
+// values it carries.
+func (w *Workload) Resolver() partition.Resolver {
+	virtual := w.virtualRows()
+	return func(id workload.TupleID) partition.Row {
+		tbl := w.DB.Table(id.Table)
+		if tbl == nil {
+			return nil
+		}
+		if row, ok := tbl.Get(id.Key); ok {
+			return storage.RowView{Schema: tbl.Schema, Data: row}
+		}
+		if rv, ok := virtual[id]; ok {
+			return rv
+		}
+		return nil
+	}
+}
+
+// virtualRows reconstructs rows for tuples created by the trace's INSERTs.
+func (w *Workload) virtualRows() map[workload.TupleID]storage.RowView {
+	out := make(map[workload.TupleID]storage.RowView)
+	for _, t := range w.Trace.Txns {
+		for _, src := range t.SQL {
+			stmt, err := sqlparse.Parse(src)
+			if err != nil {
+				continue
+			}
+			ins, ok := stmt.(*sqlparse.Insert)
+			if !ok {
+				continue
+			}
+			tbl := w.DB.Table(ins.Table)
+			if tbl == nil {
+				continue
+			}
+			schema := tbl.Schema
+			row := make(storage.Row, len(schema.Columns))
+			for i, col := range ins.Cols {
+				if ci := schema.ColIndex(col); ci >= 0 {
+					row[ci] = ins.Values[i]
+				}
+			}
+			key, ok := row[schema.KeyIndex()].AsInt()
+			if !ok {
+				continue
+			}
+			id := workload.TupleID{Table: ins.Table, Key: key}
+			if _, dup := out[id]; !dup {
+				out[id] = storage.RowView{Schema: schema, Data: row}
+			}
+		}
+	}
+	return out
+}
+
+// TupleSize returns a size function for data-size balancing.
+func (w *Workload) TupleSize(id workload.TupleID) int64 {
+	tbl := w.DB.Table(id.Table)
+	if tbl == nil {
+		return 1
+	}
+	row, ok := tbl.Get(id.Key)
+	if !ok {
+		return 1
+	}
+	var s int64
+	for _, d := range row {
+		s += d.Size()
+	}
+	return s
+}

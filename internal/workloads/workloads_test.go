@@ -1,0 +1,278 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"schism/internal/cluster"
+	"schism/internal/datum"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// multiWarehouseFrac computes the fraction of transactions touching more
+// than one warehouse, using each table's warehouse column.
+func multiWarehouseFrac(t *testing.T, w *Workload) float64 {
+	t.Helper()
+	resolve := w.Resolver()
+	wcol := map[string]string{
+		"warehouse": "w_id", "district": "d_w_id", "customer": "c_w_id",
+		"history": "h_w_id", "new_order": "no_w_id", "orders": "o_w_id",
+		"order_line": "ol_w_id", "stock": "s_w_id",
+	}
+	multi := 0
+	for _, txn := range w.Trace.Txns {
+		seen := map[int64]bool{}
+		for _, a := range txn.Accesses {
+			col, ok := wcol[a.Tuple.Table]
+			if !ok {
+				continue
+			}
+			row := resolve(a.Tuple)
+			if row == nil {
+				t.Fatalf("unresolvable tuple %v", a.Tuple)
+			}
+			v := row.Get(col)
+			wid, ok2 := v.AsInt()
+			if !ok2 {
+				t.Fatalf("tuple %v has no %s", a.Tuple, col)
+			}
+			seen[wid] = true
+		}
+		if len(seen) > 1 {
+			multi++
+		}
+	}
+	return float64(multi) / float64(w.Trace.Len())
+}
+
+func TestTPCCMultiWarehouseFraction(t *testing.T) {
+	w := TPCC(TPCCConfig{Warehouses: 4, Customers: 30, Items: 300, InitialOrders: 10, Txns: 5000, Seed: 1})
+	frac := multiWarehouseFrac(t, w)
+	// Paper: 10.7% of the workload accesses multiple warehouses.
+	if frac < 0.06 || frac > 0.16 {
+		t.Errorf("multi-warehouse fraction = %.3f, want ~0.107", frac)
+	}
+}
+
+func TestTPCCTraceResolvable(t *testing.T) {
+	w := TPCC(TPCCConfig{Warehouses: 2, Customers: 10, Items: 100, InitialOrders: 5, Txns: 500, Seed: 2})
+	resolve := w.Resolver()
+	for _, txn := range w.Trace.Txns {
+		for _, a := range txn.Accesses {
+			if resolve(a.Tuple) == nil {
+				t.Fatalf("tuple %v not resolvable (neither stored nor inserted)", a.Tuple)
+			}
+		}
+	}
+}
+
+func TestTPCCManualStrategy(t *testing.T) {
+	cfg := TPCCConfig{Warehouses: 4, Customers: 20, Items: 200, InitialOrders: 5, Txns: 3000, Seed: 3}
+	w := TPCC(cfg)
+	manual := TPCCManual(cfg, 2)
+	c := partition.Evaluate(w.Trace, manual, w.Resolver())
+	frac := c.DistributedFrac()
+	// Warehouse partitioning leaves only multi-warehouse txns distributed.
+	if frac > 0.2 {
+		t.Errorf("manual TPCC frac = %.3f, want ~= multi-warehouse fraction", frac)
+	}
+	// Sanity: item reads never make a txn distributed (replicated).
+	hash := &partition.Hash{K: 2, KeyColumn: TPCCKeyColumns()}
+	hc := partition.Evaluate(w.Trace, hash, w.Resolver())
+	if hc.DistributedFrac() < 2*frac {
+		t.Errorf("hashing (%.3f) should be far worse than manual (%.3f)", hc.DistributedFrac(), frac)
+	}
+}
+
+func TestYCSBATouchesOneTuple(t *testing.T) {
+	w := YCSBA(YCSBConfig{Rows: 1000, Txns: 2000, Seed: 4})
+	writes := 0
+	for _, txn := range w.Trace.Txns {
+		if got := len(txn.Tuples()); got != 1 {
+			t.Fatalf("YCSB-A txn touches %d tuples", got)
+		}
+		if !txn.ReadOnly() {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(w.Trace.Len())
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("write fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestYCSBEScans(t *testing.T) {
+	w := YCSBE(YCSBConfig{Rows: 1000, Txns: 2000, MaxScan: 50, Seed: 5})
+	scans, maxLen := 0, 0
+	for _, txn := range w.Trace.Txns {
+		n := len(txn.Tuples())
+		if n > 1 {
+			scans++
+			// Scan tuples must be contiguous keys.
+			tuples := txn.Tuples()
+			for i := 1; i < len(tuples); i++ {
+				if tuples[i].Key != tuples[i-1].Key+1 {
+					t.Fatalf("scan not contiguous: %v", tuples)
+				}
+			}
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if frac := float64(scans) / float64(w.Trace.Len()); frac < 0.8 {
+		t.Errorf("scan fraction = %.3f, want ~0.95 (some scans have length 1)", frac)
+	}
+	if maxLen > 50 {
+		t.Errorf("scan length %d exceeds MaxScan", maxLen)
+	}
+}
+
+func TestEpinionsCommunityLocality(t *testing.T) {
+	cfg := EpinionsConfig{Users: 400, Items: 200, Communities: 4, Txns: 1000, Seed: 6}
+	w := Epinions(cfg)
+	// The DB must contain all four tables with the configured sizes.
+	if got := w.DB.Table("users").Len(); got != 400 {
+		t.Errorf("users = %d", got)
+	}
+	if got := w.DB.Table("items").Len(); got != 200 {
+		t.Errorf("items = %d", got)
+	}
+	if w.DB.Table("reviews").Len() == 0 || w.DB.Table("trust").Len() == 0 {
+		t.Error("empty reviews/trust")
+	}
+	// Manual strategy must exist and be lookup-based.
+	if w.Manual == nil {
+		t.Fatal("manual strategy missing")
+	}
+	c := partition.Evaluate(w.Trace, w.Manual(2), w.Resolver())
+	if c.DistributedFrac() > 0.25 {
+		t.Errorf("manual epinions frac = %.3f; students' strategy should do better", c.DistributedFrac())
+	}
+}
+
+func TestRandomIsHopeless(t *testing.T) {
+	w := Random(RandomConfig{Rows: 5000, Txns: 1000, Seed: 7})
+	for _, txn := range w.Trace.Txns {
+		if txn.ReadOnly() {
+			t.Fatal("random txns must write")
+		}
+	}
+	// Any 2-partition split leaves ~half the txns distributed.
+	hash := &partition.Hash{K: 2, KeyColumn: w.KeyColumns}
+	c := partition.Evaluate(w.Trace, hash, w.Resolver())
+	if c.DistributedFrac() < 0.35 {
+		t.Errorf("random hash frac = %.3f, want ~0.5", c.DistributedFrac())
+	}
+}
+
+func TestTPCESchemaAndTrace(t *testing.T) {
+	w := TPCE(TPCEConfig{Customers: 100, Securities: 50, Txns: 2000, Seed: 8})
+	if got := len(w.DB.TableNames()); got != 16 {
+		t.Errorf("TPC-E-lite tables = %d, want 16", got)
+	}
+	resolve := w.Resolver()
+	reads, writes := 0, 0
+	for _, txn := range w.Trace.Txns {
+		for _, a := range txn.Accesses {
+			if resolve(a.Tuple) == nil {
+				t.Fatalf("unresolvable %v", a.Tuple)
+			}
+			if a.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+	}
+	// TPC-E is read-intensive.
+	if writes*2 > reads {
+		t.Errorf("reads=%d writes=%d; TPC-E should be read-heavy", reads, writes)
+	}
+	if w.Manual != nil {
+		t.Error("paper reports no manual strategy for TPC-E")
+	}
+}
+
+// TestTPCCRuntimeOnCluster runs the live five-transaction mix through the
+// cluster with the manual warehouse partitioning and checks integrity:
+// committed transactions only, money-style invariants on district next-o-id
+// monotonicity, and a sane distributed fraction.
+func TestTPCCRuntimeOnCluster(t *testing.T) {
+	cfg := TPCCConfig{Warehouses: 4, Customers: 20, Items: 100, InitialOrders: 5, Seed: 9}
+	cfg = cfg.withDefaults()
+	k := 2
+	strat := TPCCManual(cfg, k)
+	c := cluster.New(cluster.Config{Nodes: k, LockTimeout: 2 * time.Second}, func(node int) *storage.Database {
+		db := storage.NewDatabase()
+		wLo := node*cfg.Warehouses/k + 1
+		wHi := (node + 1) * cfg.Warehouses / k
+		TPCCPopulate(db, cfg, wLo, wHi, true) // item replicated on every node
+		return db
+	})
+	defer c.Close()
+	co := cluster.NewCoordinator(c, strat)
+	stats := cluster.RunLoad(co, 8, 400*time.Millisecond, 1, TPCCRuntimeTxn(cfg))
+	if stats.Commits == 0 {
+		t.Fatal("no committed transactions")
+	}
+	// Distributed fraction should be near the multi-warehouse rate, far
+	// from 100%.
+	if f := stats.DistributedFrac(); f > 0.4 {
+		t.Errorf("distributed fraction %.2f too high for warehouse partitioning", f)
+	}
+	// Integrity: every order inserted has order lines on the same node,
+	// and d_next_o_id matches the number of orders per district.
+	for n := 0; n < k; n++ {
+		db := c.Node(n).DB()
+		dist := db.Table("district")
+		orders := db.Table("orders")
+		counts := map[int64]int64{}
+		orders.ScanAll(func(key int64, row storage.Row) bool {
+			dk := key / tpccOrderSpace
+			counts[dk]++
+			return true
+		})
+		dist.ScanAll(func(key int64, row storage.Row) bool {
+			next, _ := row[3].AsInt()
+			if counts[key] != next {
+				t.Errorf("node %d district %d: next_o_id=%d but %d orders", n, key, next, counts[key])
+			}
+			return true
+		})
+	}
+}
+
+func TestSimplecountWorkload(t *testing.T) {
+	cfg := SimplecountConfig{Rows: 1000, Partitions: 4}
+	w := Simplecount(cfg, 500, 1)
+	if w.DB.Table("simplecount").Len() != 1000 {
+		t.Fatal("bad row count")
+	}
+	for _, txn := range w.Trace.Txns {
+		if len(txn.Accesses) != 2 {
+			t.Fatal("simplecount txns read exactly 2 rows")
+		}
+	}
+	// Node DBs partition the id space evenly.
+	total := 0
+	for n := 0; n < 4; n++ {
+		total += SimplecountDB(cfg, n).Table("simplecount").Len()
+	}
+	if total != 1000 {
+		t.Fatalf("node slices cover %d rows", total)
+	}
+	// Strategy routes id=0 to node 0 and id=999 to node 3.
+	strat := SimplecountStrategy(cfg)
+	r0 := strat.Locate(workload.TupleID{Table: "simplecount", Key: 0}, mapRowSC{"id": datum.NewInt(0)})
+	r999 := strat.Locate(workload.TupleID{Table: "simplecount", Key: 999}, mapRowSC{"id": datum.NewInt(999)})
+	if len(r0) != 1 || r0[0] != 0 || len(r999) != 1 || r999[0] != 3 {
+		t.Errorf("routing: 0->%v 999->%v", r0, r999)
+	}
+}
+
+type mapRowSC map[string]datum.D
+
+func (m mapRowSC) Get(c string) datum.D { return m[c] }
