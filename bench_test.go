@@ -14,6 +14,7 @@ import (
 	"schism/internal/graph"
 	"schism/internal/metis"
 	"schism/internal/partition"
+	"schism/internal/workload"
 	"schism/internal/workloads"
 )
 
@@ -183,6 +184,7 @@ func BenchmarkAblationSampling(b *testing.B) {
 	w := workloads.TPCC(workloads.TPCCConfig{
 		Warehouses: 2, Customers: 30, Items: 200, InitialOrders: 10, Txns: 2500, Seed: 13,
 	})
+	full := workload.CompactTrace(w.Trace)
 	for _, rate := range []float64{1.0, 0.5, 0.25, 0.1} {
 		b.Run(pctName(rate), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -191,8 +193,8 @@ func BenchmarkAblationSampling(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				asg := g.Assignments(parts)
-				cost := partition.EvaluateAssignments(w.Trace, asg, 2, nil)
+				sets := g.DenseAssignmentsFor(full, parts)
+				cost := partition.EvaluateAssignmentsCompact(full, sets, nil)
 				b.ReportMetric(100*cost.DistributedFrac(), "%distributed")
 			}
 		})

@@ -6,7 +6,10 @@
 // substrates (graph builder, multilevel min-cut partitioner, C4.5-class
 // decision tree, SQL parser, storage engine, 2PL/2PC cluster simulator,
 // router, lookup tables, workload generators) in sibling packages, and the
-// paper's evaluation in internal/experiments. See README.md, DESIGN.md and
-// EXPERIMENTS.md; run the evaluation with cmd/experiments and the
+// paper's evaluation in internal/experiments. The trace→graph→CSR hot
+// path works on interned dense tuple ids (workload.Interner) with
+// deterministic parallel edge generation and counting-sort CSR assembly;
+// DESIGN.md documents that layer and scripts/bench.sh tracks its
+// performance over time. Run the evaluation with cmd/experiments and the
 // partitioner with cmd/schism.
 package schism

@@ -1,0 +1,3 @@
+module schism
+
+go 1.22

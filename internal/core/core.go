@@ -171,7 +171,7 @@ func Run(in Input, opts Options) (*Result, error) {
 	g := graph.Build(train, gopts)
 	res.Timings.Graph = time.Since(t0)
 	res.Stats = GraphStats{
-		Tuples: len(g.TupleGroup),
+		Tuples: g.Intern.Len(),
 		Txns:   g.Trace.Len(),
 		Nodes:  g.NumNodes(),
 		Edges:  g.NumEdges(),
@@ -190,17 +190,23 @@ func Run(in Input, opts Options) (*Result, error) {
 	res.Timings.Partition = time.Since(t0)
 	res.EdgeCut = cut
 	res.PartWeight = g.CSR.PartWeights(parts, k)
-	res.Assignments = g.Assignments(parts)
+	dense := g.DenseAssignments(parts)
+	tuples := g.Intern.Tuples()
+	res.Assignments = make(map[workload.TupleID][]int, len(dense))
+	for d, set := range dense {
+		res.Assignments[tuples[d]] = set
+	}
 
-	// Fine-grained lookup strategy from the raw assignments.
-	stats := workload.ComputeStats(train)
+	// Fine-grained lookup strategy from the raw assignments, built over
+	// the graph's dense tuple ids (slice iteration, deterministic order).
 	writeFrac := writeFraction(train)
 	readMostly := writeFrac < opts.ReadMostlyWriteFrac
-	res.Lookup = buildLookup(res.Assignments, k, in, readMostly)
+	res.Lookup = buildLookup(tuples, dense, k, in, readMostly)
 
 	// Phase 4: explanation.
 	t0 = time.Now()
 	if in.Resolver != nil {
+		stats := workload.ComputeStats(train)
 		res.Range = explain(res, train, in, opts, stats)
 		if res.Range != nil && !balanced(res.Range, res.Assignments, in.Resolver, k) {
 			// §4.3 condition (ii): an explanation that funnels the load
@@ -288,14 +294,15 @@ func writeFraction(tr *workload.Trace) float64 {
 	return float64(w) / float64(tr.Len())
 }
 
-// buildLookup turns per-tuple assignments into per-table lookup tables.
-// Traced tuples get the graph's placement. With a database available,
-// existing-but-untraced tuples are also covered (replicate-everywhere for
-// read-mostly workloads, hash placement otherwise) and the strategy is
-// marked Floating: unknown keys are new tuples that follow their
-// transaction. Without a database, the untraced default applies to every
-// unknown key instead.
-func buildLookup(asg map[workload.TupleID][]int, k int, in Input, readMostly bool) *partition.Lookup {
+// buildLookup turns per-tuple assignments into per-table lookup tables:
+// tuples[d] and dense[d] are the graph's interned tuples and their replica
+// sets. Traced tuples get the graph's placement. With a database
+// available, existing-but-untraced tuples are also covered (replicate-
+// everywhere for read-mostly workloads, hash placement otherwise) and the
+// strategy is marked Floating: unknown keys are new tuples that follow
+// their transaction. Without a database, the untraced default applies to
+// every unknown key instead.
+func buildLookup(tuples []workload.TupleID, dense [][]int, k int, in Input, readMostly bool) *partition.Lookup {
 	tables := make(map[string]lookup.Table)
 	get := func(name string) lookup.Table {
 		t, ok := tables[name]
@@ -305,7 +312,8 @@ func buildLookup(asg map[workload.TupleID][]int, k int, in Input, readMostly boo
 		}
 		return t
 	}
-	for id, parts := range asg {
+	for d, parts := range dense {
+		id := tuples[d]
 		get(id.Table).Set(id.Key, parts)
 	}
 	out := &partition.Lookup{K: k, Tables: tables, KeyColumn: in.KeyColumns}

@@ -9,6 +9,16 @@ import (
 	"schism/internal/workloads"
 )
 
+// cut returns full, or small under go test -short: the assertions below
+// hold at both scales, the short configs just trade statistical margin
+// for wall time (CI runs -short).
+func cut(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
 func runPipeline(t *testing.T, w *workloads.Workload, k int, opts Options) *Result {
 	t.Helper()
 	opts.Partitions = k
@@ -30,7 +40,7 @@ func runPipeline(t *testing.T, w *workloads.Workload, k int, opts Options) *Resu
 // decisively.
 func TestTPCCExplanation(t *testing.T) {
 	w := workloads.TPCC(workloads.TPCCConfig{
-		Warehouses: 2, Customers: 30, Items: 200, InitialOrders: 12, Txns: 3000, Seed: 42,
+		Warehouses: 2, Customers: cut(30, 20), Items: cut(200, 120), InitialOrders: cut(12, 8), Txns: cut(3000, 1200), Seed: 42,
 	})
 	res := runPipeline(t, w, 2, Options{Seed: 7})
 
@@ -92,7 +102,7 @@ func TestTPCCExplanation(t *testing.T) {
 // TestTPCCMatchesManual checks Schism lands in the same cost ballpark as
 // the expert warehouse partitioning (Fig. 4, TPCC-2W).
 func TestTPCCMatchesManual(t *testing.T) {
-	cfg := workloads.TPCCConfig{Warehouses: 2, Customers: 30, Items: 200, InitialOrders: 12, Txns: 3000, Seed: 11}
+	cfg := workloads.TPCCConfig{Warehouses: 2, Customers: cut(30, 20), Items: cut(200, 120), InitialOrders: cut(12, 8), Txns: cut(3000, 1200), Seed: 11}
 	w := workloads.TPCC(cfg)
 	res := runPipeline(t, w, 2, Options{Seed: 3})
 	_, test := w.Trace.Split(0.5)
@@ -108,7 +118,7 @@ func TestTPCCMatchesManual(t *testing.T) {
 // transaction touches one tuple, so everything (except replication) costs
 // zero and validation must choose the SIMPLEST strategy — hashing.
 func TestYCSBAPicksHashing(t *testing.T) {
-	w := workloads.YCSBA(workloads.YCSBConfig{Rows: 5000, Txns: 4000, Seed: 1})
+	w := workloads.YCSBA(workloads.YCSBConfig{Rows: cut(5000, 2000), Txns: cut(4000, 1500), Seed: 1})
 	res := runPipeline(t, w, 2, Options{Seed: 5})
 	if res.ChosenName != "hashing" {
 		t.Errorf("chose %s, want hashing\n%s", res.ChosenName, res.Report())
@@ -122,7 +132,7 @@ func TestYCSBAPicksHashing(t *testing.T) {
 // scans make hashing terrible, and the explanation must recover a range
 // partitioning close to manual.
 func TestYCSBERangeBeatsHashing(t *testing.T) {
-	w := workloads.YCSBE(workloads.YCSBConfig{Rows: 5000, Txns: 4000, MaxScan: 20, Seed: 2})
+	w := workloads.YCSBE(workloads.YCSBConfig{Rows: cut(5000, 2000), Txns: cut(4000, 1500), MaxScan: 20, Seed: 2})
 	res := runPipeline(t, w, 2, Options{Seed: 5})
 	hashFrac := res.Costs["hashing"].DistributedFrac()
 	if hashFrac < 0.3 {
@@ -140,7 +150,7 @@ func TestYCSBERangeBeatsHashing(t *testing.T) {
 // TestRandomFallsBackToHashing reproduces the Fig. 4 Random experiment:
 // with no exploitable locality the pipeline must fall back to hashing.
 func TestRandomFallsBackToHashing(t *testing.T) {
-	w := workloads.Random(workloads.RandomConfig{Rows: 20000, Txns: 3000, Seed: 3})
+	w := workloads.Random(workloads.RandomConfig{Rows: cut(20000, 8000), Txns: cut(3000, 1200), Seed: 3})
 	res := runPipeline(t, w, 10, Options{Seed: 5})
 	if res.ChosenName != "hashing" {
 		t.Errorf("chose %s, want hashing\n%s", res.ChosenName, res.Report())
@@ -156,7 +166,7 @@ func TestRandomFallsBackToHashing(t *testing.T) {
 // so the fine-grained lookup table must win and beat hashing dramatically.
 func TestEpinionsLookupWins(t *testing.T) {
 	w := workloads.Epinions(workloads.EpinionsConfig{
-		Users: 400, Items: 200, Communities: 4, ReviewsPerUser: 6, TrustPerUser: 4, Txns: 4000, Seed: 4,
+		Users: 400, Items: 200, Communities: 4, ReviewsPerUser: 6, TrustPerUser: 4, Txns: cut(4000, 2500), Seed: 4,
 	})
 	res := runPipeline(t, w, 2, Options{Seed: 9})
 	lookupFrac := res.Costs["lookup-table"].DistributedFrac()
@@ -221,7 +231,7 @@ func TestNoResolverSkipsExplanation(t *testing.T) {
 // graph: with replication off, no tuple may have more than one replica.
 func TestDisableReplicationAblation(t *testing.T) {
 	w := workloads.Epinions(workloads.EpinionsConfig{
-		Users: 200, Items: 100, Communities: 2, Txns: 1500, Seed: 6,
+		Users: 200, Items: 100, Communities: 2, Txns: cut(1500, 800), Seed: 6,
 	})
 	res := runPipeline(t, w, 2, Options{Seed: 2, DisableReplication: true})
 	for id, parts := range res.Assignments {

@@ -101,7 +101,7 @@ func Table1(s Scale) []Table1Row {
 	for _, d := range fig5Graphs(s) {
 		rows = append(rows, Table1Row{
 			Dataset:     d.name,
-			Tuples:      len(d.g.TupleGroup),
+			Tuples:      d.g.Intern.Len(),
 			Txns:        d.g.Trace.Len(),
 			Nodes:       d.g.NumNodes(),
 			Edges:       d.g.NumEdges(),

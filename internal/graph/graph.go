@@ -7,11 +7,21 @@
 // The package also implements the §5.1 graph-size heuristics: transaction-
 // and tuple-level sampling, blanket-statement filtering, relevance
 // filtering, star-shaped replication, and tuple coalescing.
+//
+// Construction is allocation-lean and parallel (see DESIGN.md): the trace
+// is interned into dense tuple ids once, per-transaction deduplication
+// uses epoch-stamped scratch arrays instead of maps, coalescing signatures
+// are 64-bit hashes verified on collision, and clique-edge generation is
+// sharded across GOMAXPROCS goroutines over contiguous transaction ranges
+// so the merged edge list — and therefore the CSR — is byte-identical to a
+// single-threaded build.
 package graph
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"schism/internal/metis"
 	"schism/internal/workload"
@@ -94,27 +104,113 @@ type Graph struct {
 	Nodes []Node
 	// GroupTuples lists the member tuples of each coalesced group.
 	GroupTuples [][]workload.TupleID
-	// TupleGroup maps each represented tuple to its group.
-	TupleGroup map[workload.TupleID]int32
+	// Intern assigns the dense tuple ids used by GroupOf and
+	// DenseAssignments; ids are in order of first access in Trace.
+	Intern *workload.Interner
+	// GroupOf maps dense tuple id -> group (the slice-indexed counterpart
+	// of TupleGroup).
+	GroupOf []int32
 	// Trace is the post-filtering trace the graph represents.
 	Trace *workload.Trace
-	// Stats are access statistics over Trace.
-	Stats *workload.Stats
+	// Compact is the interned form of Trace the graph was built from.
+	Compact *workload.Compact
 	// Opts echoes the options used.
 	Opts Options
 
 	// groupBase[g] is the first node id of group g; exploded groups occupy
-	// groupBase[g] (centre) through groupBase[g]+len(accessors).
+	// groupBase[g] (centre) through groupBase[g]+numReplicas(g).
 	groupBase []int32
-	// groupTxnNode maps group -> accessing txn id -> node id. Nil for
-	// unexploded groups (whose single node serves every transaction).
-	groupTxnNode []map[int32]int32
+	// exploded marks groups expanded into replication stars.
+	exploded []bool
+	// accOff[g]/accCount[g] locate group g's accessor list within txnList/
+	// flagList: the transactions touching the group, ascending, with
+	// read/write flag bits.
+	accOff   []int32
+	accCount []int32
+	txnList  []int32
+	flagList []uint8
+	// stats and tupleGroup cache the map-based views (built on first use).
+	stats      *workload.Stats
+	tupleGroup map[workload.TupleID]int32
 }
 
-// groupAccess records which transactions touch a group and how.
-type groupAccess struct {
-	txns   []int32 // trace indexes, in first-access order
-	writes map[int32]bool
+// TupleGroup returns the tuple → group map, the map-based counterpart of
+// GroupOf, materialised lazily on first call (not goroutine-safe); the
+// build hot path never hashes TupleIDs.
+func (g *Graph) TupleGroup() map[workload.TupleID]int32 {
+	if g.tupleGroup == nil {
+		tuples := g.Intern.Tuples()
+		m := make(map[workload.TupleID]int32, len(g.GroupOf))
+		for d, gi := range g.GroupOf {
+			m[tuples[d]] = gi
+		}
+		g.tupleGroup = m
+	}
+	return g.tupleGroup
+}
+
+// Stats returns access statistics over Trace. The map-based view is
+// materialised lazily on first call (not goroutine-safe); the build hot
+// path itself only ever touches dense counters.
+func (g *Graph) Stats() *workload.Stats {
+	if g.stats == nil {
+		g.stats = g.Compact.Stats().ToStats(g.Compact.In)
+	}
+	return g.stats
+}
+
+const (
+	flagRead  uint8 = 1 << 0
+	flagWrite uint8 = 1 << 1
+)
+
+// maxWorkers overrides edge-generation parallelism; 0 means
+// runtime.GOMAXPROCS(0). Tests set it to check that worker count never
+// changes the built graph.
+var maxWorkers = 0
+
+// groupTxns returns the ascending transaction ids accessing group gi.
+func (g *Graph) groupTxns(gi int32) []int32 {
+	return g.txnList[g.accOff[gi] : g.accOff[gi]+g.accCount[gi]]
+}
+
+// groupFlags returns the per-accessor read/write flags for group gi,
+// parallel to groupTxns.
+func (g *Graph) groupFlags(gi int32) []uint8 {
+	return g.flagList[g.accOff[gi] : g.accOff[gi]+g.accCount[gi]]
+}
+
+// isExploded reports whether group gi was expanded into a replication star.
+func (g *Graph) isExploded(gi int32) bool { return g.exploded[gi] }
+
+// numReplicas returns the number of replica nodes of an exploded group
+// (0 for plain groups).
+func (g *Graph) numReplicas(gi int32) int {
+	if !g.exploded[gi] {
+		return 0
+	}
+	return int(g.accCount[gi])
+}
+
+// nodeFor returns the node serving transaction ti's access to group gi:
+// the group's single node, or the replica dedicated to ti. Replica ranks
+// are recovered by binary search in the group's ascending accessor list.
+func (g *Graph) nodeFor(gi, ti int32) int32 {
+	base := g.groupBase[gi]
+	if !g.exploded[gi] {
+		return base
+	}
+	txns := g.groupTxns(gi)
+	lo, hi := 0, len(txns)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if txns[mid] < ti {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return base + 1 + int32(lo)
 }
 
 // Build constructs the workload graph for a trace.
@@ -133,90 +229,156 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 	if opts.MinAccesses > 1 {
 		tr = workload.FilterRelevance(tr, opts.MinAccesses)
 	}
-	stats := workload.ComputeStats(tr)
+
+	// Intern the trace: every access hashes once, everything after indexes
+	// slices by dense tuple id.
+	c := workload.CompactTrace(tr)
+	numTuples := c.NumTuples()
+	numTxns := c.NumTxns()
 
 	g := &Graph{
-		Trace:      tr,
-		Stats:      stats,
-		Opts:       opts,
-		TupleGroup: make(map[workload.TupleID]int32),
+		Trace:   tr,
+		Compact: c,
+		Opts:    opts,
+		Intern:  c.In,
+	}
+
+	// Per-tuple accessor lists (tuple -> ascending txn ids + read/write
+	// flags), built with two epoch-stamped passes: count, then fill.
+	last := make([]int32, numTuples)
+	for i := range last {
+		last[i] = -1
+	}
+	cnt := make([]int32, numTuples)
+	for ti := 0; ti < numTxns; ti++ {
+		for _, e := range c.Txn(ti) {
+			d := int32(e &^ workload.WriteBit)
+			if last[d] != int32(ti) {
+				last[d] = int32(ti)
+				cnt[d]++
+			}
+		}
+	}
+	tupOff := make([]int32, numTuples+1)
+	for d := 0; d < numTuples; d++ {
+		tupOff[d+1] = tupOff[d] + cnt[d]
+	}
+	g.txnList = make([]int32, tupOff[numTuples])
+	g.flagList = make([]uint8, tupOff[numTuples])
+	copy(cnt, tupOff[:numTuples]) // cnt becomes the fill cursor
+	for i := range last {
+		last[i] = -1
+	}
+	for ti := 0; ti < numTxns; ti++ {
+		for _, e := range c.Txn(ti) {
+			d := int32(e &^ workload.WriteBit)
+			f := flagRead
+			if e&workload.WriteBit != 0 {
+				f = flagWrite
+			}
+			if last[d] != int32(ti) {
+				last[d] = int32(ti)
+				g.txnList[cnt[d]] = int32(ti)
+				g.flagList[cnt[d]] = f
+				cnt[d]++
+			} else {
+				g.flagList[cnt[d]-1] |= f
+			}
+		}
 	}
 
 	// Group tuples. With coalescing, tuples sharing an identical access
-	// signature (same transactions, same read/write modes) share a group.
-	type tupleSig struct {
-		tuples []workload.TupleID
-		access *groupAccess
-	}
-	sigOf := make(map[workload.TupleID]*groupAccess)
-	// Collect per-tuple access lists in deterministic trace order.
-	for ti, t := range tr.Txns {
-		seenHere := make(map[workload.TupleID]bool)
-		for _, a := range t.Accesses {
-			ga := sigOf[a.Tuple]
-			if ga == nil {
-				ga = &groupAccess{writes: make(map[int32]bool)}
-				sigOf[a.Tuple] = ga
-			}
-			if !seenHere[a.Tuple] {
-				seenHere[a.Tuple] = true
-				ga.txns = append(ga.txns, int32(ti))
-			}
-			if a.Write {
-				ga.writes[int32(ti)] = true
-			}
-		}
-	}
-	var groups []*tupleSig
+	// signature (same transactions, same write pattern) share a group;
+	// signatures are 64-bit hashes verified element-wise on collision.
+	// Groups are numbered in first-access order either way.
+	g.GroupOf = make([]int32, numTuples)
+	var rep []int32 // representative dense tuple per group
 	if opts.Coalesce {
-		bySig := make(map[string]int)
-		for _, t := range tr.Txns {
-			for _, a := range t.Accesses {
-				id := a.Tuple
-				if _, done := g.TupleGroup[id]; done {
-					continue
-				}
-				key := signatureKey(sigOf[id])
-				gi, ok := bySig[key]
-				if !ok {
-					gi = len(groups)
-					bySig[key] = gi
-					groups = append(groups, &tupleSig{access: sigOf[id]})
-				}
-				groups[gi].tuples = append(groups[gi].tuples, id)
-				g.TupleGroup[id] = int32(gi)
+		sigTxns := func(d int32) []int32 { return g.txnList[tupOff[d]:tupOff[d+1]] }
+		sigFlags := func(d int32) []uint8 { return g.flagList[tupOff[d]:tupOff[d+1]] }
+		sigEqual := func(a, b int32) bool {
+			ta, tb := sigTxns(a), sigTxns(b)
+			if len(ta) != len(tb) {
+				return false
 			}
+			fa, fb := sigFlags(a), sigFlags(b)
+			for i := range ta {
+				if ta[i] != tb[i] || fa[i]&flagWrite != fb[i]&flagWrite {
+					return false
+				}
+			}
+			return true
+		}
+		byHash := make(map[uint64][]int32)
+		for d := int32(0); int(d) < numTuples; d++ {
+			h := sigHash(sigTxns(d), sigFlags(d))
+			gi := int32(-1)
+			for _, cand := range byHash[h] {
+				if sigEqual(rep[cand], d) {
+					gi = cand
+					break
+				}
+			}
+			if gi < 0 {
+				gi = int32(len(rep))
+				rep = append(rep, d)
+				byHash[h] = append(byHash[h], gi)
+			}
+			g.GroupOf[d] = gi
 		}
 	} else {
-		for _, t := range tr.Txns {
-			for _, a := range t.Accesses {
-				id := a.Tuple
-				if _, done := g.TupleGroup[id]; done {
-					continue
-				}
-				g.TupleGroup[id] = int32(len(groups))
-				groups = append(groups, &tupleSig{tuples: []workload.TupleID{id}, access: sigOf[id]})
-			}
+		rep = make([]int32, numTuples)
+		for d := range g.GroupOf {
+			g.GroupOf[d] = int32(d)
+			rep[d] = int32(d)
 		}
 	}
-	g.GroupTuples = make([][]workload.TupleID, len(groups))
-	for i, grp := range groups {
-		g.GroupTuples[i] = grp.tuples
+	numGroups := len(rep)
+
+	// Group accessor lists alias the representative tuple's list.
+	g.accOff = make([]int32, numGroups)
+	g.accCount = make([]int32, numGroups)
+	for gi, d := range rep {
+		g.accOff[gi] = tupOff[d]
+		g.accCount[gi] = tupOff[d+1] - tupOff[d]
 	}
 
-	// Lay out nodes.
-	g.groupBase = make([]int32, len(groups))
-	g.groupTxnNode = make([]map[int32]int32, len(groups))
+	// Group membership, flattened into one backing array.
+	tuples := c.In.Tuples()
+	g.GroupTuples = make([][]workload.TupleID, numGroups)
+	if opts.Coalesce {
+		memCnt := make([]int32, numGroups)
+		for _, gi := range g.GroupOf {
+			memCnt[gi]++
+		}
+		memOff := make([]int32, numGroups+1)
+		for gi := 0; gi < numGroups; gi++ {
+			memOff[gi+1] = memOff[gi] + memCnt[gi]
+		}
+		flat := make([]workload.TupleID, numTuples)
+		copy(memCnt, memOff[:numGroups])
+		for d, gi := range g.GroupOf {
+			flat[memCnt[gi]] = tuples[d]
+			memCnt[gi]++
+		}
+		for gi := 0; gi < numGroups; gi++ {
+			g.GroupTuples[gi] = flat[memOff[gi]:memOff[gi+1]]
+		}
+	} else {
+		for d := range g.GroupTuples {
+			g.GroupTuples[d] = tuples[d : d+1]
+		}
+	}
+	// Lay out nodes: a single node per group, or centre + one replica per
+	// accessing transaction for exploded groups.
+	g.groupBase = make([]int32, numGroups)
+	g.exploded = make([]bool, numGroups)
 	var numNodes int32
-	for gi, grp := range groups {
+	for gi := 0; gi < numGroups; gi++ {
 		g.groupBase[gi] = numNodes
-		if opts.Replication && len(grp.access.txns) >= 2 {
-			m := make(map[int32]int32, len(grp.access.txns))
-			for ri, ti := range grp.access.txns {
-				m[ti] = numNodes + 1 + int32(ri)
-			}
-			g.groupTxnNode[gi] = m
-			numNodes += int32(len(grp.access.txns)) + 1
+		if opts.Replication && g.accCount[gi] >= 2 {
+			g.exploded[gi] = true
+			numNodes += g.accCount[gi] + 1
 		} else {
 			numNodes++
 		}
@@ -225,9 +387,9 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 	// Node metadata and weights.
 	g.Nodes = make([]Node, numNodes)
 	nwgt := make([]int64, numNodes)
-	sizeOf := func(gi int) int64 {
+	sizeOf := func(gi int32) int64 {
 		var sz int64
-		for _, id := range groups[gi].tuples {
+		for _, id := range g.GroupTuples[gi] {
 			if opts.TupleSize != nil {
 				sz += opts.TupleSize(id)
 			} else {
@@ -236,99 +398,210 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 		}
 		return sz
 	}
-	for gi, grp := range groups {
+	for gi := int32(0); int(gi) < numGroups; gi++ {
 		base := g.groupBase[gi]
-		if g.groupTxnNode[gi] != nil {
-			g.Nodes[base] = Node{Group: int32(gi), Center: true, Txn: -1}
+		if g.exploded[gi] {
+			g.Nodes[base] = Node{Group: gi, Center: true, Txn: -1}
 			nwgt[base] = 0
-			for ri, ti := range grp.access.txns {
+			var w int64
+			switch opts.Weights {
+			case DataSizeWeight:
+				w = sizeOf(gi)
+			default:
+				w = int64(len(g.GroupTuples[gi]))
+			}
+			for ri, ti := range g.groupTxns(gi) {
 				node := base + 1 + int32(ri)
-				g.Nodes[node] = Node{Group: int32(gi), Txn: ti}
-				switch opts.Weights {
-				case DataSizeWeight:
-					nwgt[node] = sizeOf(gi)
-				default:
-					nwgt[node] = int64(len(grp.tuples))
-				}
+				g.Nodes[node] = Node{Group: gi, Txn: ti}
+				nwgt[node] = w
 			}
 		} else {
-			g.Nodes[base] = Node{Group: int32(gi), Txn: -1}
+			g.Nodes[base] = Node{Group: gi, Txn: -1}
 			switch opts.Weights {
 			case DataSizeWeight:
 				nwgt[base] = sizeOf(gi)
 			default:
-				nwgt[base] = int64(len(grp.access.txns)) * int64(len(grp.tuples))
+				nwgt[base] = int64(g.accCount[gi]) * int64(len(g.GroupTuples[gi]))
 			}
 		}
 	}
 
-	// Edges.
-	var edges []metis.BuilderEdge
-	nodeFor := func(gi int32, ti int32) int32 {
-		if m := g.groupTxnNode[gi]; m != nil {
-			return m[ti]
-		}
-		return g.groupBase[gi]
-	}
-	for ti, t := range tr.Txns {
-		// Distinct groups accessed by this transaction, in access order.
-		var members []int32
-		seen := make(map[int32]bool)
-		for _, a := range t.Accesses {
-			gi := g.TupleGroup[a.Tuple]
-			if !seen[gi] {
-				seen[gi] = true
-				members = append(members, gi)
-			}
-		}
-		if len(members) < 2 {
-			continue
-		}
-		switch opts.TxnEdges {
-		case StarEdges:
-			hub := nodeFor(members[0], int32(ti))
-			for _, gi := range members[1:] {
-				edges = append(edges, metis.BuilderEdge{U: hub, V: nodeFor(gi, int32(ti)), Weight: 1})
-			}
-		default:
-			for i := 0; i < len(members); i++ {
-				for j := i + 1; j < len(members); j++ {
-					edges = append(edges, metis.BuilderEdge{
-						U: nodeFor(members[i], int32(ti)), V: nodeFor(members[j], int32(ti)), Weight: 1,
-					})
-				}
-			}
-		}
-	}
-	// Replication edges: centre—replica, weighted by the group's update
-	// count (the cost of keeping that replica in a different partition).
-	for gi, grp := range groups {
-		m := g.groupTxnNode[gi]
-		if m == nil {
-			continue
-		}
-		updates := int64(len(grp.access.writes))
-		base := g.groupBase[gi]
-		for ri := range grp.access.txns {
-			edges = append(edges, metis.BuilderEdge{U: base, V: base + 1 + int32(ri), Weight: updates})
-		}
-	}
+	// Edges: transaction cliques/stars generated in parallel, replication
+	// stars appended after.
+	edges := g.buildEdges(c, numGroups, numTxns)
 	g.CSR = metis.NewGraph(int(numNodes), edges, nwgt)
 	return g
 }
 
-// signatureKey serialises a group access pattern for coalescing.
-func signatureKey(ga *groupAccess) string {
-	buf := make([]byte, 0, len(ga.txns)*6)
-	for _, ti := range ga.txns {
-		buf = append(buf, byte(ti), byte(ti>>8), byte(ti>>16), byte(ti>>24))
-		if ga.writes[ti] {
-			buf = append(buf, 'w')
-		} else {
-			buf = append(buf, 'r')
+// buildEdges generates the transaction edges (clique or star per txn over
+// its distinct groups) sharded across workers by contiguous transaction
+// ranges, then the replication edges. Each worker counts its shard's edges
+// first, so every edge is written directly into its final slot and the
+// merged order equals the single-threaded order regardless of worker
+// count.
+func (g *Graph) buildEdges(c *workload.Compact, numGroups, numTxns int) []metis.BuilderEdge {
+	workers := maxWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numTxns {
+		workers = numTxns
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (numTxns + workers - 1) / workers
+
+	star := g.Opts.TxnEdges == StarEdges
+	// One scratch array per worker, shared by both passes. Both passes
+	// revisit the same transaction indices, so each pass stamps its own
+	// epoch value (2·ti, then 2·ti+1) to keep the scratch valid without
+	// re-initialising between passes.
+	seenScratch := make([][]int32, workers)
+	for s := range seenScratch {
+		seen := make([]int32, numGroups)
+		for i := range seen {
+			seen[i] = -1
+		}
+		seenScratch[s] = seen
+	}
+
+	// Pass 1: per-shard edge counts (deduping each transaction's groups
+	// with the epoch-stamped scratch).
+	shardCount := make([]int64, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := s*chunk, (s+1)*chunk
+			if hi > numTxns {
+				hi = numTxns
+			}
+			seen := seenScratch[s]
+			var total int64
+			for ti := lo; ti < hi; ti++ {
+				epoch := int32(2 * ti)
+				m := int64(0)
+				for _, e := range c.Txn(ti) {
+					gi := g.GroupOf[e&^workload.WriteBit]
+					if seen[gi] != epoch {
+						seen[gi] = epoch
+						m++
+					}
+				}
+				if m < 2 {
+					continue
+				}
+				if star {
+					total += m - 1
+				} else {
+					total += m * (m - 1) / 2
+				}
+			}
+			shardCount[s] = total
+		}(s)
+	}
+	wg.Wait()
+
+	shardStart := make([]int64, workers+1)
+	for s := 0; s < workers; s++ {
+		shardStart[s+1] = shardStart[s] + shardCount[s]
+	}
+	txnEdges := shardStart[workers]
+	var replEdges int64
+	for gi := 0; gi < numGroups; gi++ {
+		if g.exploded[gi] {
+			replEdges += int64(g.accCount[gi])
 		}
 	}
-	return string(buf)
+	edges := make([]metis.BuilderEdge, txnEdges+replEdges)
+
+	// Pass 2: each worker writes its shard's edges into place.
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := s*chunk, (s+1)*chunk
+			if hi > numTxns {
+				hi = numTxns
+			}
+			seen := seenScratch[s]
+			var nodes []int32 // member nodes, in first-access order
+			w := shardStart[s]
+			for ti := lo; ti < hi; ti++ {
+				epoch := int32(2*ti + 1)
+				nodes = nodes[:0]
+				for _, e := range c.Txn(ti) {
+					gi := g.GroupOf[e&^workload.WriteBit]
+					if seen[gi] != epoch {
+						seen[gi] = epoch
+						nodes = append(nodes, g.nodeFor(gi, int32(ti)))
+					}
+				}
+				if len(nodes) < 2 {
+					continue
+				}
+				if star {
+					hub := nodes[0]
+					for _, v := range nodes[1:] {
+						edges[w] = metis.BuilderEdge{U: hub, V: v, Weight: 1}
+						w++
+					}
+				} else {
+					for i := 0; i < len(nodes); i++ {
+						for j := i + 1; j < len(nodes); j++ {
+							edges[w] = metis.BuilderEdge{U: nodes[i], V: nodes[j], Weight: 1}
+							w++
+						}
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Replication edges: centre—replica, weighted by the group's update
+	// count (the cost of keeping that replica in a different partition).
+	w := txnEdges
+	for gi := int32(0); int(gi) < numGroups; gi++ {
+		if !g.exploded[gi] {
+			continue
+		}
+		var updates int64
+		for _, f := range g.groupFlags(gi) {
+			if f&flagWrite != 0 {
+				updates++
+			}
+		}
+		base := g.groupBase[gi]
+		for ri := int32(0); ri < g.accCount[gi]; ri++ {
+			edges[w] = metis.BuilderEdge{U: base, V: base + 1 + ri, Weight: updates}
+			w++
+		}
+	}
+	return edges
+}
+
+// sigHash is a 64-bit FNV-1a-style hash of a tuple's access signature:
+// the accessing transactions and their write flags. Collisions are
+// resolved by exact comparison, so the hash only affects speed.
+func sigHash(txns []int32, flags []uint8) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, ti := range txns {
+		v := uint64(uint32(ti)) << 1
+		if flags[i]&flagWrite != 0 {
+			v |= 1
+		}
+		h ^= v
+		h *= prime64
+		h ^= h >> 29
+	}
+	return h
 }
 
 // Partition runs the min-cut partitioner over the graph.
@@ -336,28 +609,71 @@ func (g *Graph) Partition(k int, opts metis.Options) ([]int32, int64, error) {
 	return metis.PartKway(g.CSR, k, opts)
 }
 
+// groupSets returns each group's sorted distinct partition set under the
+// node partitioning.
+func (g *Graph) groupSets(parts []int32) [][]int {
+	sets := make([][]int, len(g.groupBase))
+	for gi := range g.groupBase {
+		base := g.groupBase[gi]
+		if !g.exploded[gi] {
+			sets[gi] = []int{int(parts[base])}
+			continue
+		}
+		var set []int
+		for ri := int32(0); ri < g.accCount[gi]; ri++ {
+			p := int(parts[base+1+ri])
+			dup := false
+			for _, q := range set {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				set = append(set, p)
+			}
+		}
+		sort.Ints(set)
+		sets[gi] = set
+	}
+	return sets
+}
+
 // Assignments translates a node partitioning into per-tuple replica sets:
 // for an exploded tuple, the distinct partitions of its replica nodes; for
 // a plain tuple, its single node's partition. Partition lists are sorted.
 func (g *Graph) Assignments(parts []int32) map[workload.TupleID][]int {
-	out := make(map[workload.TupleID][]int, len(g.TupleGroup))
-	for gi, tuples := range g.GroupTuples {
-		var set []int
-		if m := g.groupTxnNode[gi]; m != nil {
-			seen := make(map[int32]bool)
-			for _, node := range m {
-				p := parts[node]
-				if !seen[p] {
-					seen[p] = true
-					set = append(set, int(p))
-				}
-			}
-		} else {
-			set = []int{int(parts[g.groupBase[gi]])}
-		}
-		sort.Ints(set)
-		for _, id := range tuples {
-			out[id] = set
+	sets := g.groupSets(parts)
+	out := make(map[workload.TupleID][]int, len(g.GroupOf))
+	for d, gi := range g.GroupOf {
+		out[g.Intern.TupleOf(int32(d))] = sets[gi]
+	}
+	return out
+}
+
+// DenseAssignments translates a node partitioning into replica sets
+// indexed by the graph's dense tuple ids (Graph.Intern). Tuples in the
+// same group share one slice.
+func (g *Graph) DenseAssignments(parts []int32) [][]int {
+	sets := g.groupSets(parts)
+	out := make([][]int, len(g.GroupOf))
+	for d, gi := range g.GroupOf {
+		out[d] = sets[gi]
+	}
+	return out
+}
+
+// DenseAssignmentsFor aligns a node partitioning with an arbitrary compact
+// trace's interner: out[d] is the replica set of c's dense tuple d, or nil
+// when the graph does not represent that tuple (the caller's default
+// policy applies). Used to evaluate a partitioning over a trace other than
+// the one the graph was built from without hashing TupleIDs per access.
+func (g *Graph) DenseAssignmentsFor(c *workload.Compact, parts []int32) [][]int {
+	sets := g.groupSets(parts)
+	out := make([][]int, c.NumTuples())
+	for d, id := range c.In.Tuples() {
+		if gd, ok := g.Intern.Lookup(id); ok {
+			out[d] = sets[g.GroupOf[gd]]
 		}
 	}
 	return out

@@ -35,8 +35,8 @@ func TestBuildBasicGraph(t *testing.T) {
 		t.Fatalf("invalid CSR: %v", err)
 	}
 	// Edge {1,2} is co-accessed by T0 and T1 -> weight 2.
-	n1 := g.TupleGroup[workload.TupleID{Table: "account", Key: 1}]
-	n2 := g.TupleGroup[workload.TupleID{Table: "account", Key: 2}]
+	n1 := g.TupleGroup()[workload.TupleID{Table: "account", Key: 1}]
+	n2 := g.TupleGroup()[workload.TupleID{Table: "account", Key: 2}]
 	w := edgeWeightBetween(g.CSR, g.groupBase[n1], g.groupBase[n2])
 	if w != 2 {
 		t.Errorf("edge weight(1,2) = %d, want 2", w)
@@ -58,11 +58,11 @@ func TestBuildReplicationStar(t *testing.T) {
 	// two (T0, T1): it must explode into 3 replicas + 1 centre, and the
 	// replication edges must weigh 2 (Fig. 3).
 	id1 := workload.TupleID{Table: "account", Key: 1}
-	gi := g.TupleGroup[id1]
-	if g.groupTxnNode[gi] == nil {
+	gi := g.TupleGroup()[id1]
+	if !g.isExploded(gi) {
 		t.Fatal("tuple 1 was not exploded")
 	}
-	if got := len(g.groupTxnNode[gi]); got != 3 {
+	if got := g.numReplicas(gi); got != 3 {
 		t.Fatalf("tuple 1 replicas = %d, want 3", got)
 	}
 	base := g.groupBase[gi]
@@ -76,7 +76,7 @@ func TestBuildReplicationStar(t *testing.T) {
 	}
 	// Tuple 3 is accessed by exactly one transaction: never exploded.
 	id3 := workload.TupleID{Table: "account", Key: 3}
-	if g.groupTxnNode[g.TupleGroup[id3]] != nil {
+	if g.isExploded(g.TupleGroup()[id3]) {
 		t.Error("tuple 3 should not be exploded")
 	}
 	if err := g.CSR.Validate(); err != nil {
@@ -149,7 +149,7 @@ func TestCoalescing(t *testing.T) {
 		})
 	}
 	g := Build(tr, Options{Coalesce: true})
-	g1, g2 := g.TupleGroup[tid(1)], g.TupleGroup[tid(2)]
+	g1, g2 := g.TupleGroup()[tid(1)], g.TupleGroup()[tid(2)]
 	if g1 != g2 {
 		t.Error("tuples 1 and 2 should coalesce into one group")
 	}
@@ -161,7 +161,7 @@ func TestCoalescing(t *testing.T) {
 	}
 	tr2.Add([]workload.Access{{Tuple: tid(1), Write: true}, {Tuple: tid(2)}})
 	gg := Build(tr2, Options{Coalesce: true})
-	if gg.TupleGroup[tid(1)] == gg.TupleGroup[tid(2)] {
+	if gg.TupleGroup()[tid(1)] == gg.TupleGroup()[tid(2)] {
 		t.Error("different write patterns must prevent coalescing")
 	}
 	if err := g.CSR.Validate(); err != nil {
@@ -186,9 +186,9 @@ func TestCoalescingReducesNodes(t *testing.T) {
 		t.Errorf("coalescing did not shrink graph: %d -> %d", plain.NumNodes(), coal.NumNodes())
 	}
 	// The coalesced block must map all five tuples to one group.
-	g0 := coal.TupleGroup[tid(0)]
+	g0 := coal.TupleGroup()[tid(0)]
 	for j := int64(1); j < 5; j++ {
-		if coal.TupleGroup[tid(j)] != g0 {
+		if coal.TupleGroup()[tid(j)] != g0 {
 			t.Errorf("tuple %d not coalesced with block", j)
 		}
 	}
@@ -228,7 +228,7 @@ func TestHeuristicFilters(t *testing.T) {
 	g3 := Build(tr, Options{MinAccesses: 3})
 	for _, tuples := range g3.GroupTuples {
 		for _, id := range tuples {
-			if g3.Stats.Accesses(id) < 3 {
+			if g3.Stats().Accesses(id) < 3 {
 				t.Fatalf("irrelevant tuple %v kept", id)
 			}
 		}
@@ -274,7 +274,7 @@ func TestWorkloadWeights(t *testing.T) {
 	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(3)}})
 	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(4)}})
 	g := Build(tr, Options{Weights: WorkloadWeight})
-	n1 := g.groupBase[g.TupleGroup[tid(1)]]
+	n1 := g.groupBase[g.TupleGroup()[tid(1)]]
 	if w := g.CSR.NWgt[n1]; w != 3 {
 		t.Errorf("workload weight of hot tuple = %d, want 3", w)
 	}

@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"schism/internal/metis"
+	"schism/internal/workload"
+)
+
+// referenceBuild is the original single-threaded, map-based graph builder,
+// kept verbatim (modulo packaging) as the semantic reference for the
+// interned, epoch-stamped, parallel Build. It returns everything the
+// differential test compares.
+type refGraph struct {
+	csr         *metis.Graph
+	nodes       []Node
+	groupTuples [][]workload.TupleID
+	tupleGroup  map[workload.TupleID]int32
+	groupBase   []int32
+}
+
+type refAccess struct {
+	txns   []int32
+	writes map[int32]bool
+}
+
+func refSignatureKey(ga *refAccess) string {
+	buf := make([]byte, 0, len(ga.txns)*6)
+	for _, ti := range ga.txns {
+		buf = append(buf, byte(ti), byte(ti>>8), byte(ti>>16), byte(ti>>24))
+		if ga.writes[ti] {
+			buf = append(buf, 'w')
+		} else {
+			buf = append(buf, 'r')
+		}
+	}
+	return string(buf)
+}
+
+func referenceBuild(tr *workload.Trace, opts Options) *refGraph {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.BlanketMaxTuples > 0 {
+		tr = workload.FilterBlanket(tr, opts.BlanketMaxTuples)
+	}
+	if opts.TxnSampleRate > 0 && opts.TxnSampleRate < 1 {
+		tr = workload.SampleTxns(tr, opts.TxnSampleRate, rng)
+	}
+	if opts.TupleSampleRate > 0 && opts.TupleSampleRate < 1 {
+		tr = workload.SampleTuples(tr, opts.TupleSampleRate, rng)
+	}
+	if opts.MinAccesses > 1 {
+		tr = workload.FilterRelevance(tr, opts.MinAccesses)
+	}
+
+	g := &refGraph{tupleGroup: make(map[workload.TupleID]int32)}
+
+	type tupleSig struct {
+		tuples []workload.TupleID
+		access *refAccess
+	}
+	sigOf := make(map[workload.TupleID]*refAccess)
+	for ti, t := range tr.Txns {
+		seenHere := make(map[workload.TupleID]bool)
+		for _, a := range t.Accesses {
+			ga := sigOf[a.Tuple]
+			if ga == nil {
+				ga = &refAccess{writes: make(map[int32]bool)}
+				sigOf[a.Tuple] = ga
+			}
+			if !seenHere[a.Tuple] {
+				seenHere[a.Tuple] = true
+				ga.txns = append(ga.txns, int32(ti))
+			}
+			if a.Write {
+				ga.writes[int32(ti)] = true
+			}
+		}
+	}
+	var groups []*tupleSig
+	if opts.Coalesce {
+		bySig := make(map[string]int)
+		for _, t := range tr.Txns {
+			for _, a := range t.Accesses {
+				id := a.Tuple
+				if _, done := g.tupleGroup[id]; done {
+					continue
+				}
+				key := refSignatureKey(sigOf[id])
+				gi, ok := bySig[key]
+				if !ok {
+					gi = len(groups)
+					bySig[key] = gi
+					groups = append(groups, &tupleSig{access: sigOf[id]})
+				}
+				groups[gi].tuples = append(groups[gi].tuples, id)
+				g.tupleGroup[id] = int32(gi)
+			}
+		}
+	} else {
+		for _, t := range tr.Txns {
+			for _, a := range t.Accesses {
+				id := a.Tuple
+				if _, done := g.tupleGroup[id]; done {
+					continue
+				}
+				g.tupleGroup[id] = int32(len(groups))
+				groups = append(groups, &tupleSig{tuples: []workload.TupleID{id}, access: sigOf[id]})
+			}
+		}
+	}
+	g.groupTuples = make([][]workload.TupleID, len(groups))
+	for i, grp := range groups {
+		g.groupTuples[i] = grp.tuples
+	}
+
+	g.groupBase = make([]int32, len(groups))
+	groupTxnNode := make([]map[int32]int32, len(groups))
+	var numNodes int32
+	for gi, grp := range groups {
+		g.groupBase[gi] = numNodes
+		if opts.Replication && len(grp.access.txns) >= 2 {
+			m := make(map[int32]int32, len(grp.access.txns))
+			for ri, ti := range grp.access.txns {
+				m[ti] = numNodes + 1 + int32(ri)
+			}
+			groupTxnNode[gi] = m
+			numNodes += int32(len(grp.access.txns)) + 1
+		} else {
+			numNodes++
+		}
+	}
+
+	g.nodes = make([]Node, numNodes)
+	nwgt := make([]int64, numNodes)
+	sizeOf := func(gi int) int64 {
+		var sz int64
+		for _, id := range groups[gi].tuples {
+			if opts.TupleSize != nil {
+				sz += opts.TupleSize(id)
+			} else {
+				sz++
+			}
+		}
+		return sz
+	}
+	for gi, grp := range groups {
+		base := g.groupBase[gi]
+		if groupTxnNode[gi] != nil {
+			g.nodes[base] = Node{Group: int32(gi), Center: true, Txn: -1}
+			nwgt[base] = 0
+			for ri, ti := range grp.access.txns {
+				node := base + 1 + int32(ri)
+				g.nodes[node] = Node{Group: int32(gi), Txn: ti}
+				switch opts.Weights {
+				case DataSizeWeight:
+					nwgt[node] = sizeOf(gi)
+				default:
+					nwgt[node] = int64(len(grp.tuples))
+				}
+			}
+		} else {
+			g.nodes[base] = Node{Group: int32(gi), Txn: -1}
+			switch opts.Weights {
+			case DataSizeWeight:
+				nwgt[base] = sizeOf(gi)
+			default:
+				nwgt[base] = int64(len(grp.access.txns)) * int64(len(grp.tuples))
+			}
+		}
+	}
+
+	var edges []metis.BuilderEdge
+	nodeFor := func(gi int32, ti int32) int32 {
+		if m := groupTxnNode[gi]; m != nil {
+			return m[ti]
+		}
+		return g.groupBase[gi]
+	}
+	for ti, t := range tr.Txns {
+		var members []int32
+		seen := make(map[int32]bool)
+		for _, a := range t.Accesses {
+			gi := g.tupleGroup[a.Tuple]
+			if !seen[gi] {
+				seen[gi] = true
+				members = append(members, gi)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		switch opts.TxnEdges {
+		case StarEdges:
+			hub := nodeFor(members[0], int32(ti))
+			for _, gi := range members[1:] {
+				edges = append(edges, metis.BuilderEdge{U: hub, V: nodeFor(gi, int32(ti)), Weight: 1})
+			}
+		default:
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					edges = append(edges, metis.BuilderEdge{
+						U: nodeFor(members[i], int32(ti)), V: nodeFor(members[j], int32(ti)), Weight: 1,
+					})
+				}
+			}
+		}
+	}
+	for gi, grp := range groups {
+		m := groupTxnNode[gi]
+		if m == nil {
+			continue
+		}
+		updates := int64(len(grp.access.writes))
+		base := g.groupBase[gi]
+		for ri := range grp.access.txns {
+			edges = append(edges, metis.BuilderEdge{U: base, V: base + 1 + int32(ri), Weight: updates})
+		}
+	}
+	g.csr = metis.NewGraph(int(numNodes), edges, nwgt)
+	return g
+}
+
+// randomTrace synthesises a trace with hot/cold tuples across several
+// tables, duplicate accesses inside transactions, and mixed read/write
+// patterns — the shapes that stress deduplication, coalescing, and
+// replication explosion.
+func randomTrace(rng *rand.Rand, txns int) *workload.Trace {
+	tables := []string{"alpha", "beta", "gamma"}
+	tr := workload.NewTrace()
+	for i := 0; i < txns; i++ {
+		n := 1 + rng.Intn(10)
+		var acc []workload.Access
+		for j := 0; j < n; j++ {
+			var key int64
+			if rng.Intn(3) == 0 {
+				key = int64(rng.Intn(5)) // hot region: heavy co-access
+			} else {
+				key = int64(rng.Intn(200))
+			}
+			acc = append(acc, workload.Access{
+				Tuple: workload.TupleID{Table: tables[rng.Intn(len(tables))], Key: key},
+				Write: rng.Intn(4) == 0,
+			})
+		}
+		tr.Add(acc)
+	}
+	return tr
+}
+
+func assertMatchesReference(t *testing.T, g *Graph, ref *refGraph) {
+	t.Helper()
+	if !reflect.DeepEqual(g.CSR.XAdj, ref.csr.XAdj) {
+		t.Fatal("XAdj mismatch")
+	}
+	if !reflect.DeepEqual(g.CSR.Adj, ref.csr.Adj) {
+		t.Fatal("Adj mismatch")
+	}
+	if !reflect.DeepEqual(g.CSR.EWgt, ref.csr.EWgt) {
+		t.Fatal("EWgt mismatch")
+	}
+	if !reflect.DeepEqual(g.CSR.NWgt, ref.csr.NWgt) {
+		t.Fatal("NWgt mismatch")
+	}
+	if !reflect.DeepEqual(g.Nodes, ref.nodes) {
+		t.Fatal("Nodes mismatch")
+	}
+	if !reflect.DeepEqual(g.GroupTuples, ref.groupTuples) {
+		t.Fatal("GroupTuples mismatch")
+	}
+	if !reflect.DeepEqual(g.TupleGroup(), ref.tupleGroup) {
+		t.Fatal("TupleGroup mismatch")
+	}
+	if !reflect.DeepEqual(g.groupBase, ref.groupBase) {
+		t.Fatal("groupBase mismatch")
+	}
+}
+
+// TestBuildMatchesReference cross-checks the rewritten builder against the
+// original map-based builder over random traces and the full option
+// matrix: replication on/off × coalescing on/off × clique/star edges,
+// plus data-size weights and the §5.1 trace filters.
+func TestBuildMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var optsMatrix []Options
+	for _, repl := range []bool{false, true} {
+		for _, coal := range []bool{false, true} {
+			for _, mode := range []EdgeMode{CliqueEdges, StarEdges} {
+				optsMatrix = append(optsMatrix, Options{
+					Replication: repl, Coalesce: coal, TxnEdges: mode, Seed: 3,
+				})
+			}
+		}
+	}
+	optsMatrix = append(optsMatrix,
+		Options{Replication: true, Weights: DataSizeWeight,
+			TupleSize: func(id workload.TupleID) int64 { return 10 + id.Key%7 }, Seed: 3},
+		Options{Replication: true, Coalesce: true, TxnSampleRate: 0.6,
+			BlanketMaxTuples: 8, MinAccesses: 2, Seed: 9},
+	)
+	for trial := 0; trial < 4; trial++ {
+		tr := randomTrace(rng, 60+trial*40)
+		for oi, opts := range optsMatrix {
+			t.Run(fmt.Sprintf("trial%d/opts%d", trial, oi), func(t *testing.T) {
+				g := Build(tr, opts)
+				ref := referenceBuild(tr, opts)
+				assertMatchesReference(t, g, ref)
+				if err := g.CSR.Validate(); err != nil {
+					t.Fatalf("invalid CSR: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestBuildDeterministicAcrossWorkers pins the tentpole guarantee: for a
+// fixed seed the sharded edge generation yields a byte-identical graph at
+// any worker count.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := randomTrace(rng, 300)
+	opts := Options{Replication: true, Coalesce: true, Seed: 5}
+
+	defer func() { maxWorkers = 0 }()
+	maxWorkers = 1
+	base := Build(tr, opts)
+	for _, w := range []int{2, 3, 8, 64} {
+		maxWorkers = w
+		g := Build(tr, opts)
+		if !reflect.DeepEqual(g.CSR, base.CSR) {
+			t.Fatalf("CSR differs at %d workers", w)
+		}
+		if !reflect.DeepEqual(g.Nodes, base.Nodes) {
+			t.Fatalf("nodes differ at %d workers", w)
+		}
+	}
+}
+
+// TestDenseAssignmentsMatchesMap checks the dense replica-set view agrees
+// with the map-based Assignments.
+func TestDenseAssignmentsMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tr := randomTrace(rng, 200)
+	g := Build(tr, Options{Replication: true, Seed: 2})
+	parts, _, err := g.Partition(3, metis.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := g.Assignments(parts)
+	dense := g.DenseAssignments(parts)
+	if len(dense) != g.Intern.Len() {
+		t.Fatalf("dense len %d != interned %d", len(dense), g.Intern.Len())
+	}
+	for d, set := range dense {
+		id := g.Intern.TupleOf(int32(d))
+		if !reflect.DeepEqual(asg[id], set) {
+			t.Fatalf("tuple %v: dense %v != map %v", id, set, asg[id])
+		}
+	}
+	// The aligned view over the same trace must agree tuple-for-tuple.
+	c := workload.CompactTrace(tr)
+	aligned := g.DenseAssignmentsFor(c, parts)
+	for d, set := range aligned {
+		id := c.In.TupleOf(int32(d))
+		if !reflect.DeepEqual(asg[id], set) {
+			t.Fatalf("aligned tuple %v: %v != %v", id, set, asg[id])
+		}
+	}
+}

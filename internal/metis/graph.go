@@ -7,13 +7,16 @@
 //
 // The package replaces the external METIS 5 library the Schism paper uses
 // (§4.2). It operates on undirected graphs in compressed sparse row form
-// with integer node and edge weights.
+// with integer node and edge weights. CSR assembly from edge lists
+// (NewGraph) is map-free: packed (u,v) keys are ordered by two stable
+// counting-sort passes and duplicates fold in one linear scan, which
+// matters both for workload-graph construction and for every coarsening
+// level built during partitioning (see DESIGN.md).
 package metis
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Graph is an undirected graph in CSR (adjacency) form. Every edge {u,v}
@@ -146,9 +149,16 @@ type BuilderEdge struct {
 // NewGraph assembles a CSR graph from an edge list, merging duplicate
 // edges by summing their weights. nodeWeights may be nil (all ones).
 // Self-loops are dropped.
+//
+// Assembly is map-free: edges are normalised into packed (u,v) uint64
+// keys, sorted with two stable counting-sort passes (by v, then by u) in
+// O(E+N), duplicates folded in one linear scan, and both CSR directions
+// scattered from the sorted run. Adjacency lists come out sorted by
+// neighbour id, and identical input always yields identical output.
 func NewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) *Graph {
-	// Merge duplicates: normalise to u < v.
-	merged := make(map[int64]int64, len(edges))
+	// Pack normalised u < v keys; drop self-loops.
+	keys := make([]uint64, 0, len(edges))
+	wts := make([]int64, 0, len(edges))
 	for _, e := range edges {
 		u, v := e.U, e.V
 		if u == v {
@@ -157,35 +167,80 @@ func NewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) *Graph {
 		if u > v {
 			u, v = v, u
 		}
-		merged[int64(u)<<32|int64(uint32(v))] += e.Weight
+		keys = append(keys, uint64(u)<<32|uint64(uint32(v)))
+		wts = append(wts, e.Weight)
 	}
-	keys := make([]int64, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 
-	deg := make([]int32, numNodes)
+	// Bucket counters are int64: the raw edge list may exceed 2^31
+	// entries even when the folded CSR fits int32 offsets.
+	count := make([]int64, numNodes)
+	if len(keys) > 0 {
+		// Two stable counting-sort passes leave keys ordered by (u,v).
+		tmpK := make([]uint64, len(keys))
+		tmpW := make([]int64, len(wts))
+		countingSortPass(0, keys, wts, tmpK, tmpW, count)
+		countingSortPass(32, tmpK, tmpW, keys, wts, count)
+
+		// Fold adjacent duplicates in place, summing weights.
+		m := 0
+		for i := 0; i < len(keys); {
+			k, w := keys[i], wts[i]
+			for i++; i < len(keys) && keys[i] == k; i++ {
+				w += wts[i]
+			}
+			keys[m], wts[m] = k, w
+			m++
+		}
+		keys, wts = keys[:m], wts[:m]
+	}
+
+	for i := range count {
+		count[i] = 0
+	}
 	for _, k := range keys {
-		u, v := int32(k>>32), int32(uint32(k))
-		deg[u]++
-		deg[v]++
+		count[k>>32]++
+		count[uint32(k)]++
 	}
 	xadj := make([]int32, numNodes+1)
 	for i := 0; i < numNodes; i++ {
-		xadj[i+1] = xadj[i] + deg[i]
+		xadj[i+1] = xadj[i] + int32(count[i])
 	}
 	adj := make([]int32, xadj[numNodes])
 	ewgt := make([]int64, xadj[numNodes])
-	pos := make([]int32, numNodes)
-	copy(pos, xadj[:numNodes])
-	for _, k := range keys {
+	for i := 0; i < numNodes; i++ {
+		count[i] = int64(xadj[i])
+	}
+	for i, k := range keys {
 		u, v := int32(k>>32), int32(uint32(k))
-		w := merged[k]
-		adj[pos[u]], ewgt[pos[u]] = v, w
-		pos[u]++
-		adj[pos[v]], ewgt[pos[v]] = u, w
-		pos[v]++
+		w := wts[i]
+		adj[count[u]], ewgt[count[u]] = v, w
+		count[u]++
+		adj[count[v]], ewgt[count[v]] = u, w
+		count[v]++
 	}
 	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt, NWgt: nodeWeights}
+}
+
+// countingSortPass stably sorts (src, srcW) into (dst, dstW) by the 32-bit
+// field of the packed key at the given shift. count is caller-provided
+// scratch of length numNodes, overwritten each call.
+func countingSortPass(shift uint, src []uint64, srcW []int64, dst []uint64, dstW []int64, count []int64) {
+	for i := range count {
+		count[i] = 0
+	}
+	for _, k := range src {
+		count[uint32(k>>shift)]++
+	}
+	var sum int64
+	for i := range count {
+		c := count[i]
+		count[i] = sum
+		sum += c
+	}
+	for i, k := range src {
+		b := uint32(k >> shift)
+		p := count[b]
+		count[b]++
+		dst[p], dstW[p] = k, srcW[i]
+	}
 }

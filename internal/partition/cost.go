@@ -147,3 +147,108 @@ func EvaluateAssignments(tr *workload.Trace, asg map[workload.TupleID][]int, k i
 	}
 	return c
 }
+
+// EvaluateAssignmentsCompact is EvaluateAssignments over an interned
+// trace: sets[d] is the replica set of dense tuple d in c's interner (nil
+// means unassigned: the default applies). The hot loop indexes slices by
+// dense id — no TupleID hashing, no per-transaction read/write-set
+// allocation. Use graph.DenseAssignmentsFor to align a partitioning with
+// the evaluation trace's interner.
+func EvaluateAssignmentsCompact(c *workload.Compact, sets [][]int, def []int) Cost {
+	cost := Cost{Total: c.NumTxns()}
+	var scratch evalScratch
+	for ti := 0; ti < c.NumTxns(); ti++ {
+		if txnDistributedCompact(c.Txn(ti), sets, def, &scratch) {
+			cost.Distributed++
+		}
+	}
+	return cost
+}
+
+// evalScratch holds the small partition-set buffers reused across
+// transactions by txnDistributedCompact.
+type evalScratch struct {
+	req   []int
+	inter []int
+}
+
+// txnDistributedCompact mirrors txnDistributed over packed accesses.
+// Duplicate accesses need no deduplication: every step is idempotent.
+func txnDistributedCompact(accs []uint32, sets [][]int, def []int, s *evalScratch) bool {
+	locate := func(e uint32) []int {
+		if p := sets[e&^workload.WriteBit]; p != nil {
+			return p
+		}
+		return def
+	}
+	// Partitions the transaction is forced to touch: every replica of
+	// every written tuple.
+	req := s.req[:0]
+	for _, e := range accs {
+		if e&workload.WriteBit == 0 {
+			continue
+		}
+		for _, p := range locate(e) {
+			if !contains(req, p) {
+				req = append(req, p)
+			}
+		}
+		if len(req) > 1 {
+			s.req = req
+			return true
+		}
+	}
+	s.req = req
+
+	if len(req) == 1 {
+		// The single required partition must also hold a replica of every
+		// tuple the transaction reads.
+		home := req[0]
+		for _, e := range accs {
+			if e&workload.WriteBit != 0 {
+				continue
+			}
+			parts := locate(e)
+			if len(parts) == 0 {
+				continue
+			}
+			if !contains(parts, home) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Read-only (or all writes unconstrained): single-sited iff the
+	// intersection of all non-empty replica sets is non-empty.
+	inter := s.inter[:0]
+	first := true
+	for _, e := range accs {
+		if e&workload.WriteBit != 0 {
+			continue
+		}
+		parts := locate(e)
+		if len(parts) == 0 {
+			continue
+		}
+		if first {
+			inter = append(inter, parts...)
+			first = false
+			continue
+		}
+		k := 0
+		for _, p := range inter {
+			if contains(parts, p) {
+				inter[k] = p
+				k++
+			}
+		}
+		inter = inter[:k]
+		if len(inter) == 0 {
+			s.inter = inter
+			return true
+		}
+	}
+	s.inter = inter
+	return false
+}

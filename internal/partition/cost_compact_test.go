@@ -1,0 +1,59 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"schism/internal/workload"
+)
+
+// TestEvaluateAssignmentsCompactMatchesMap cross-checks the dense
+// evaluator against the map-based one over random traces, assignments
+// with replication, unassigned tuples, and both default policies.
+func TestEvaluateAssignmentsCompactMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		tr := workload.NewTrace()
+		for i := 0; i < 80; i++ {
+			var acc []workload.Access
+			for j := 0; j < 1+rng.Intn(6); j++ {
+				acc = append(acc, workload.Access{
+					Tuple: workload.TupleID{Table: "t", Key: int64(rng.Intn(40))},
+					Write: rng.Intn(3) == 0,
+				})
+			}
+			tr.Add(acc)
+		}
+		k := 2 + rng.Intn(3)
+		asg := make(map[workload.TupleID][]int)
+		for key := int64(0); key < 40; key++ {
+			id := workload.TupleID{Table: "t", Key: key}
+			switch rng.Intn(4) {
+			case 0: // unassigned: default policy applies
+			case 1: // replicated to several partitions
+				n := 2 + rng.Intn(k-1)
+				perm := rng.Perm(k)[:n]
+				set := append([]int(nil), perm...)
+				asg[id] = set
+			default:
+				asg[id] = []int{rng.Intn(k)}
+			}
+		}
+		var defs [][]int
+		defs = append(defs, nil, []int{0})
+		for _, def := range defs {
+			want := EvaluateAssignments(tr, asg, k, def)
+			c := workload.CompactTrace(tr)
+			sets := make([][]int, c.NumTuples())
+			for d := range sets {
+				if parts, ok := asg[c.In.TupleOf(int32(d))]; ok {
+					sets[d] = parts
+				}
+			}
+			got := EvaluateAssignmentsCompact(c, sets, def)
+			if got != want {
+				t.Fatalf("trial %d def=%v: compact %+v != map %+v", trial, def, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a := TupleID{Table: "a", Key: 1}
+	b := TupleID{Table: "b", Key: 1}
+	a2 := TupleID{Table: "a", Key: 2}
+	if d := in.Intern(a); d != 0 {
+		t.Fatalf("first id = %d, want 0", d)
+	}
+	if d := in.Intern(b); d != 1 {
+		t.Fatalf("second id = %d, want 1", d)
+	}
+	if d := in.Intern(a); d != 0 {
+		t.Fatalf("re-intern = %d, want 0", d)
+	}
+	if d := in.Intern(a2); d != 2 {
+		t.Fatalf("third id = %d, want 2", d)
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", in.Len())
+	}
+	if got := in.TupleOf(1); got != b {
+		t.Fatalf("TupleOf(1) = %v, want %v", got, b)
+	}
+	if d, ok := in.Lookup(b); !ok || d != 1 {
+		t.Fatalf("Lookup(b) = %d,%v", d, ok)
+	}
+	if _, ok := in.Lookup(TupleID{Table: "c", Key: 9}); ok {
+		t.Fatal("Lookup of unseen tuple succeeded")
+	}
+	want := []TupleID{a, b, a2}
+	if !reflect.DeepEqual(in.Tuples(), want) {
+		t.Fatalf("Tuples = %v, want %v", in.Tuples(), want)
+	}
+}
+
+func TestCompactTraceRoundTrip(t *testing.T) {
+	tid := func(k int64) TupleID { return TupleID{Table: "t", Key: k} }
+	tr := NewTrace()
+	tr.Add([]Access{{Tuple: tid(5), Write: true}, {Tuple: tid(7)}})
+	tr.Add([]Access{{Tuple: tid(7), Write: true}, {Tuple: tid(5)}, {Tuple: tid(5), Write: true}})
+	c := CompactTrace(tr)
+	if c.NumTxns() != 2 || c.NumTuples() != 2 {
+		t.Fatalf("NumTxns=%d NumTuples=%d", c.NumTxns(), c.NumTuples())
+	}
+	for ti, txn := range tr.Txns {
+		packed := c.Txn(ti)
+		if len(packed) != len(txn.Accesses) {
+			t.Fatalf("txn %d: %d packed accesses, want %d", ti, len(packed), len(txn.Accesses))
+		}
+		for k, e := range packed {
+			d := int32(e &^ WriteBit)
+			if got := c.In.TupleOf(d); got != txn.Accesses[k].Tuple {
+				t.Errorf("txn %d access %d: tuple %v, want %v", ti, k, got, txn.Accesses[k].Tuple)
+			}
+			if w := e&WriteBit != 0; w != txn.Accesses[k].Write {
+				t.Errorf("txn %d access %d: write=%v, want %v", ti, k, w, txn.Accesses[k].Write)
+			}
+		}
+	}
+}
+
+// referenceStats is the original map-per-transaction ComputeStats,
+// kept as the semantic reference for the dense implementation.
+func referenceStats(tr *Trace) *Stats {
+	s := &Stats{
+		Reads:    make(map[TupleID]int),
+		Writes:   make(map[TupleID]int),
+		TxnCount: len(tr.Txns),
+	}
+	for _, t := range tr.Txns {
+		reads := make(map[TupleID]bool)
+		writes := make(map[TupleID]bool)
+		for _, a := range t.Accesses {
+			if a.Write {
+				writes[a.Tuple] = true
+			} else {
+				reads[a.Tuple] = true
+			}
+		}
+		for id := range reads {
+			s.Reads[id]++
+		}
+		for id := range writes {
+			s.Writes[id]++
+		}
+	}
+	return s
+}
+
+func TestDenseStatsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tables := []string{"t", "u", "v"}
+	for trial := 0; trial < 20; trial++ {
+		tr := NewTrace()
+		for i := 0; i < 50; i++ {
+			var acc []Access
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				acc = append(acc, Access{
+					Tuple: TupleID{Table: tables[rng.Intn(len(tables))], Key: int64(rng.Intn(20))},
+					Write: rng.Intn(3) == 0,
+				})
+			}
+			tr.Add(acc)
+		}
+		got, want := ComputeStats(tr), referenceStats(tr)
+		if got.TxnCount != want.TxnCount {
+			t.Fatalf("TxnCount %d != %d", got.TxnCount, want.TxnCount)
+		}
+		if !reflect.DeepEqual(got.Reads, want.Reads) {
+			t.Fatalf("Reads mismatch:\n got %v\nwant %v", got.Reads, want.Reads)
+		}
+		if !reflect.DeepEqual(got.Writes, want.Writes) {
+			t.Fatalf("Writes mismatch:\n got %v\nwant %v", got.Writes, want.Writes)
+		}
+	}
+}

@@ -186,28 +186,9 @@ func (s *Stats) Tuples() []TupleID {
 
 // ComputeStats scans the trace once and aggregates per-tuple counts.
 // A transaction that accesses a tuple several times counts once per kind.
+// The trace is interned and counted over dense ids, so each access hashes
+// once instead of once per intermediate map.
 func ComputeStats(tr *Trace) *Stats {
-	s := &Stats{
-		Reads:    make(map[TupleID]int),
-		Writes:   make(map[TupleID]int),
-		TxnCount: len(tr.Txns),
-	}
-	for _, t := range tr.Txns {
-		reads := make(map[TupleID]bool)
-		writes := make(map[TupleID]bool)
-		for _, a := range t.Accesses {
-			if a.Write {
-				writes[a.Tuple] = true
-			} else {
-				reads[a.Tuple] = true
-			}
-		}
-		for id := range reads {
-			s.Reads[id]++
-		}
-		for id := range writes {
-			s.Writes[id]++
-		}
-	}
-	return s
+	c := CompactTrace(tr)
+	return c.Stats().ToStats(c.In)
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the graph-construction microbenchmarks (graph.Build and
+# metis.NewGraph) with -benchmem and records the results as JSON, so the
+# perf trajectory is tracked PR over PR: BENCH_1.json for this PR,
+# BENCH_2.json for the next, and so on.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=10x scripts/bench.sh   # more iterations for stabler numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_1.json}"
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" ./internal/graph ./internal/metis | tee "$TXT"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    ns = "null"; bop = "null"; aop = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, ns, bop, aop)
+}
+END { print "\n]" }
+' "$TXT" > "$OUT"
+
+echo "wrote $OUT"
