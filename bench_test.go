@@ -8,6 +8,8 @@
 package schism_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"schism/internal/experiments"
@@ -19,6 +21,41 @@ import (
 )
 
 var quick = experiments.Scale{Quick: true}
+
+// tpcc50Graph builds the TPCC-50W-scale workload graph once (clique
+// edges + replication + coalescing, the configuration the paper uses for
+// its largest runs; same trace shape as internal/graph's benchmarks).
+var tpcc50Graph = sync.OnceValue(func() *graph.Graph {
+	w := workloads.TPCC(workloads.TPCCConfig{
+		Warehouses: 50, Customers: 20, Items: 500,
+		InitialOrders: 5, Txns: 25000, Seed: 5,
+	})
+	return graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: true, Seed: 3})
+})
+
+// BenchmarkPartKway measures the multilevel partitioner alone (no graph
+// construction) on the TPCC-50W-scale graph at the paper's small and
+// large partition counts. The Solver is reused across iterations, so
+// steady-state allocations are essentially the returned label slice.
+func BenchmarkPartKway(b *testing.B) {
+	g := tpcc50Graph()
+	s := metis.NewSolver()
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				_, c, err := s.PartKway(g.CSR, k, metis.Options{Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = c
+			}
+			b.ReportMetric(float64(cut), "edgecut")
+			b.ReportMetric(float64(g.CSR.NumNodes()), "nodes")
+		})
+	}
+}
 
 // BenchmarkFigure1 regenerates Fig. 1 (the price of distribution): the
 // reported metric is the distributed/single throughput ratio at the

@@ -1,60 +1,69 @@
 package metis
 
-import "math/rand"
-
-// level is one rung of the multilevel hierarchy: the graph at this level
-// and the mapping from its nodes to the nodes of the next-coarser graph.
-type level struct {
-	g    *Graph
-	cmap []int32 // len g.NumNodes(); node -> coarse node id
-}
-
-// coarsen builds the multilevel hierarchy by repeated heavy-edge matching
-// until the graph has at most coarsenTo nodes or coarsening stalls.
-// It returns the list of levels finest-first; the final entry's cmap is nil
-// and its graph is the coarsest.
-func coarsen(g *Graph, coarsenTo int, rng *rand.Rand) []*level {
-	levels := []*level{{g: g}}
+// coarsen builds the multilevel hierarchy in the solver's reusable level
+// storage by repeated heavy-edge matching until the graph has at most
+// coarsenTo nodes or coarsening stalls. It returns the number of levels
+// (>= 1); level 0 is the caller's graph g, level i > 0 lives in
+// s.levels[i].graph, and s.levels[i].cmap maps level-i nodes to level-i+1
+// nodes.
+func (s *Solver) coarsen(g *Graph, coarsenTo int) int {
 	cur := g
-	for cur.NumNodes() > coarsenTo && len(levels) < 40 {
-		cmap, numCoarse := heavyEdgeMatch(cur, rng)
+	li := 0
+	for cur.NumNodes() > coarsenTo && li < 39 {
+		lv := s.level(li)
+		lv.cmap = growI32(lv.cmap, cur.NumNodes())
+		cmap := lv.cmap[:cur.NumNodes()]
+		numCoarse := s.heavyEdgeMatch(cur, cmap)
 		// Stall detection: if matching barely shrinks the graph (typical of
 		// star-like graphs where most nodes share one hub), stop coarsening.
 		if float64(numCoarse) > 0.95*float64(cur.NumNodes()) {
 			break
 		}
-		coarse := contract(cur, cmap, numCoarse)
-		levels[len(levels)-1].cmap = cmap
-		levels = append(levels, &level{g: coarse})
-		cur = coarse
+		next := s.level(li + 1)
+		s.contract(cur, cmap, numCoarse, next)
+		cur = &next.graph
+		li++
 	}
-	return levels
+	return li + 1
+}
+
+// levelGraph returns the graph at level i (the caller's graph at level 0).
+func (s *Solver) levelGraph(g *Graph, i int) *Graph {
+	if i == 0 {
+		return g
+	}
+	return &s.levels[i].graph
 }
 
 // heavyEdgeMatch computes a matching that pairs each unmatched node with
 // its unmatched neighbour of maximum edge weight (ties broken by first
 // encounter), visiting nodes in random order. Unmatchable nodes remain
-// singletons. Returns the fine->coarse map and the coarse node count.
-func heavyEdgeMatch(g *Graph, rng *rand.Rand) (cmap []int32, numCoarse int) {
+// singletons. Coarse ids are assigned in node order into cmap so output
+// is deterministic given the matching; returns the coarse node count.
+func (s *Solver) heavyEdgeMatch(g *Graph, cmap []int32) int {
 	n := g.NumNodes()
-	match := make([]int32, n)
+	s.match = growI32(s.match, n)
+	match := s.match[:n]
 	for i := range match {
 		match[i] = -1
 	}
-	order := rng.Perm(n)
-	for _, ui := range order {
-		u := int32(ui)
+	xadj, adj, ew := g.XAdj, g.Adj, g.EWgt
+	for _, u := range s.permute(n) {
 		if match[u] >= 0 {
 			continue
 		}
 		best := int32(-1)
 		var bestW int64 = -1
-		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
-			v := g.Adj[j]
+		for j, end := int(xadj[u]), int(xadj[u+1]); j < end; j++ {
+			v := adj[j]
 			if match[v] >= 0 || v == u {
 				continue
 			}
-			if w := g.edgeWeight(j); w > bestW {
+			w := int64(1)
+			if ew != nil {
+				w = ew[j]
+			}
+			if w > bestW {
 				bestW, best = w, v
 			}
 		}
@@ -64,9 +73,6 @@ func heavyEdgeMatch(g *Graph, rng *rand.Rand) (cmap []int32, numCoarse int) {
 			match[u] = u
 		}
 	}
-	// Assign coarse ids in node order so output is deterministic given the
-	// matching.
-	cmap = make([]int32, n)
 	for i := range cmap {
 		cmap[i] = -1
 	}
@@ -81,29 +87,125 @@ func heavyEdgeMatch(g *Graph, rng *rand.Rand) (cmap []int32, numCoarse int) {
 		}
 		next++
 	}
-	return cmap, int(next)
+	return int(next)
 }
 
-// contract builds the coarse graph induced by cmap: coarse node weights are
-// sums of member weights; parallel edges are merged by summing weights;
+// contract builds the coarse graph induced by cmap directly in CSR form,
+// writing into the reusable buffers of out: coarse node weights are sums
+// of member weights, parallel edges merge by summing weights, and
 // intra-group edges vanish.
-func contract(g *Graph, cmap []int32, numCoarse int) *Graph {
-	n := g.NumNodes()
-	nwgt := make([]int64, numCoarse)
-	for i := 0; i < n; i++ {
-		nwgt[cmap[i]] += g.NodeWeight(int32(i))
+//
+// Unlike the old path — appending a []BuilderEdge and paying NewGraph's
+// two counting-sort passes over the full fine edge list per level — this
+// works row-by-row over the fine graph's adjacency:
+//
+//  1. a counting sort of cmap groups fine nodes into per-coarse-node
+//     member lists (ascending fine id, so output is deterministic);
+//  2. one fill-and-fold pass walks each coarse node's members and writes
+//     its folded row in first-encounter order, merging parallel edge
+//     weights via a marker/slot table;
+//  3. one symmetric scatter pass transposes the folded rows: visiting
+//     source rows in ascending order emits every destination row sorted
+//     by neighbour id, preserving the package's sorted-adjacency
+//     invariant with no comparison sort.
+//
+// The result is bit-identical to NewGraph over the same coarse edge
+// multiset (pinned by TestContractMatchesNaive).
+func (s *Solver) contract(f *Graph, cmap []int32, numCoarse int, out *levelData) {
+	n := f.NumNodes()
+	nc := numCoarse
+
+	out.nwgt = growI64(out.nwgt, nc)
+	nwgt := out.nwgt[:nc]
+	for i := range nwgt {
+		nwgt[i] = 0
 	}
-	// Accumulate coarse edges. Each undirected fine edge {u,v} contributes
-	// exactly once via the direction with cmap[u] < cmap[v].
-	var edges []BuilderEdge
-	for u := int32(0); int(u) < n; u++ {
-		cu := cmap[u]
-		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
-			cv := cmap[g.Adj[j]]
-			if cu < cv {
-				edges = append(edges, BuilderEdge{U: cu, V: cv, Weight: g.edgeWeight(j)})
+	for u := 0; u < n; u++ {
+		nwgt[cmap[u]] += f.NodeWeight(int32(u))
+	}
+
+	// Member lists: counting sort of cmap keeps members in ascending fine
+	// id within each coarse node, so fill order is deterministic.
+	s.mstart = growI32(s.mstart, nc+1)
+	ms := s.mstart[:nc+1]
+	for i := range ms {
+		ms[i] = 0
+	}
+	for _, c := range cmap {
+		ms[c+1]++
+	}
+	for i := 0; i < nc; i++ {
+		ms[i+1] += ms[i]
+	}
+	s.members = growI32(s.members, n)
+	mem := s.members[:n]
+	s.pos = growI32(s.pos, nc)
+	pos := s.pos[:nc]
+	copy(pos, ms[:nc])
+	for u := 0; u < n; u++ {
+		c := cmap[u]
+		mem[pos[c]] = int32(u)
+		pos[c]++
+	}
+
+	// Fill-and-fold: one pass over the fine adjacency writes each coarse
+	// row compactly in first-encounter order, merging parallel edges via
+	// the slot table. Rows are appended, so no separate counting pass is
+	// needed to pre-size them; the append buffers keep their capacity in
+	// the solver, making steady-state contraction allocation-free.
+	s.mark = growI32(s.mark, nc)
+	s.slot = growI32(s.slot, nc)
+	mark, slot := s.mark[:nc], s.slot[:nc]
+	for i := range mark {
+		mark[i] = 0
+	}
+	out.xadj = growI32(out.xadj, nc+1)
+	xadj := out.xadj[:nc+1]
+	xadj[0] = 0
+	tadj, tewgt := s.tadj[:0], s.tewgt[:0]
+	fxadj, fadj, few := f.XAdj, f.Adj, f.EWgt
+	for c := 0; c < nc; c++ {
+		stamp := int32(c) + 1
+		for _, u := range mem[ms[c]:ms[c+1]] {
+			for j, end := int(fxadj[u]), int(fxadj[u+1]); j < end; j++ {
+				cv := cmap[fadj[j]]
+				if int(cv) == c {
+					continue
+				}
+				w := int64(1)
+				if few != nil {
+					w = few[j]
+				}
+				if mark[cv] != stamp {
+					mark[cv] = stamp
+					slot[cv] = int32(len(tadj))
+					tadj = append(tadj, cv)
+					tewgt = append(tewgt, w)
+				} else {
+					tewgt[slot[cv]] += w
+				}
 			}
 		}
+		xadj[c+1] = int32(len(tadj))
 	}
-	return NewGraph(numCoarse, edges, nwgt)
+	s.tadj, s.tewgt = tadj, tewgt
+	m := len(tadj)
+
+	// Symmetric scatter: row cv receives its neighbours c in ascending
+	// order because source rows are visited in ascending order, and the
+	// folded weight of (c,cv) equals that of (cv,c) by symmetry.
+	out.adj = growI32(out.adj, m)
+	out.ewgt = growI64(out.ewgt, m)
+	adj, ewgt := out.adj[:m], out.ewgt[:m]
+	copy(pos, xadj[:nc])
+	for c := 0; c < nc; c++ {
+		for idx := xadj[c]; idx < xadj[c+1]; idx++ {
+			cv := tadj[idx]
+			p := pos[cv]
+			adj[p] = int32(c)
+			ewgt[p] = tewgt[idx]
+			pos[cv] = p + 1
+		}
+	}
+	out.graph = Graph{XAdj: xadj, Adj: adj, EWgt: ewgt, NWgt: nwgt}
 }

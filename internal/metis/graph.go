@@ -72,8 +72,17 @@ func (g *Graph) TotalNodeWeight() int64 {
 	return tot
 }
 
-// Validate checks structural invariants: monotone XAdj, in-range adjacency,
-// no self-loops, and symmetric edges with matching weights.
+// Validate checks structural invariants: monotone XAdj, in-range sorted
+// adjacency, no self-loops or duplicate neighbours, and symmetric edges
+// with matching weights.
+//
+// Adjacency lists sorted by ascending neighbour id are an invariant of
+// every graph this package builds (NewGraph and level contraction both
+// emit sorted rows); Validate enforces it, which lets the symmetry check
+// run as a cursor-based merge scan in O(N+E) instead of through an O(E)
+// edge map: when the outer loop visits directed edge (u,v) — u ascending
+// — the matching (v,u) must sit exactly at v's cursor, because v's row
+// is sorted by the same order the cursor consumes it in.
 func (g *Graph) Validate() error {
 	n := g.NumNodes()
 	if len(g.XAdj) > 0 && g.XAdj[0] != 0 {
@@ -93,10 +102,12 @@ func (g *Graph) Validate() error {
 	if g.NWgt != nil && len(g.NWgt) != n {
 		return fmt.Errorf("metis: len(NWgt)=%d != n=%d", len(g.NWgt), n)
 	}
-	// Symmetry check via edge multiset.
-	type edge struct{ u, v int32 }
-	seen := make(map[edge]int64, len(g.Adj))
+	cursor := make([]int32, n)
+	for i := 0; i < n; i++ {
+		cursor[i] = g.XAdj[i]
+	}
 	for u := int32(0); int(u) < n; u++ {
+		prev := int32(-1)
 		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
 			v := g.Adj[j]
 			if v == u {
@@ -105,30 +116,45 @@ func (g *Graph) Validate() error {
 			if v < 0 || int(v) >= n {
 				return fmt.Errorf("metis: adjacency out of range: %d", v)
 			}
-			seen[edge{u, v}] += g.edgeWeight(j)
+			if v <= prev {
+				return fmt.Errorf("metis: adjacency of node %d not sorted (%d after %d)", u, v, prev)
+			}
+			prev = v
+			c := cursor[v]
+			if c >= g.XAdj[v+1] || g.Adj[c] != u {
+				return fmt.Errorf("metis: asymmetric edge {%d,%d}", u, v)
+			}
+			if g.edgeWeight(c) != g.edgeWeight(j) {
+				return fmt.Errorf("metis: edge {%d,%d} weight mismatch (%d vs %d)",
+					u, v, g.edgeWeight(j), g.edgeWeight(c))
+			}
+			cursor[v] = c + 1
 		}
 	}
-	for e, w := range seen {
-		if seen[edge{e.v, e.u}] != w {
-			return fmt.Errorf("metis: asymmetric edge {%d,%d}", e.u, e.v)
+	for v := 0; v < n; v++ {
+		if cursor[v] != g.XAdj[v+1] {
+			return fmt.Errorf("metis: asymmetric edge (unmatched entries at node %d)", v)
 		}
 	}
 	return nil
 }
 
 // EdgeCut returns the total weight of edges whose endpoints are in
-// different partitions. Each undirected edge is counted once.
+// different partitions. Each undirected edge {u,v} is counted once via
+// its u < v direction (every edge appears in both adjacency lists), so
+// no halving of a double count is needed.
 func (g *Graph) EdgeCut(parts []int32) int64 {
 	var cut int64
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		pu := parts[u]
 		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
 			v := g.Adj[j]
-			if parts[u] != parts[v] {
+			if v > u && parts[v] != pu {
 				cut += g.edgeWeight(j)
 			}
 		}
 	}
-	return cut / 2
+	return cut
 }
 
 // PartWeights returns the total node weight in each of k partitions.

@@ -2,7 +2,7 @@ package metis
 
 import (
 	"math/rand"
-	"reflect"
+	"slices"
 	"sort"
 	"testing"
 )
@@ -52,18 +52,20 @@ func naiveNewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) *Grap
 	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt, NWgt: nodeWeights}
 }
 
+// graphsEqual asserts element-wise CSR equality; nil and empty slices
+// compare equal (a nil EWgt/NWgt is NOT equivalent to explicit ones).
 func graphsEqual(t *testing.T, got, want *Graph) {
 	t.Helper()
-	if !reflect.DeepEqual(got.XAdj, want.XAdj) {
+	if !slices.Equal(got.XAdj, want.XAdj) {
 		t.Fatalf("XAdj mismatch:\n got %v\nwant %v", got.XAdj, want.XAdj)
 	}
-	if !reflect.DeepEqual(got.Adj, want.Adj) {
+	if !slices.Equal(got.Adj, want.Adj) {
 		t.Fatalf("Adj mismatch:\n got %v\nwant %v", got.Adj, want.Adj)
 	}
-	if !reflect.DeepEqual(got.EWgt, want.EWgt) {
+	if !slices.Equal(got.EWgt, want.EWgt) {
 		t.Fatalf("EWgt mismatch:\n got %v\nwant %v", got.EWgt, want.EWgt)
 	}
-	if !reflect.DeepEqual(got.NWgt, want.NWgt) {
+	if !slices.Equal(got.NWgt, want.NWgt) {
 		t.Fatalf("NWgt mismatch:\n got %v\nwant %v", got.NWgt, want.NWgt)
 	}
 }

@@ -1,26 +1,27 @@
 package metis
 
-import (
-	"container/heap"
-	"math/rand"
-)
-
 // initialPartition produces a k-way partition of the (coarsest) graph by
-// recursive bisection. targets[p] is the fraction of total node weight that
-// partition p should receive; len(targets) == k.
-func initialPartition(g *Graph, k int, targets []float64, imbalance float64, rng *rand.Rand) []int32 {
-	parts := make([]int32, g.NumNodes())
-	nodes := make([]int32, g.NumNodes())
+// recursive bisection, writing labels into parts. targets[p] is the
+// fraction of total node weight that partition p should receive;
+// len(targets) == k. All working memory comes from the solver context:
+// induced subgraphs, heaps, and side arrays live in s.bis, and node
+// subsets are stable in-place splits of s.initNodes.
+func (s *Solver) initialPartition(g *Graph, k int, targets []float64, imbalance float64, parts []int32) {
+	n := g.NumNodes()
+	s.localStamp = growI32(s.localStamp, n)
+	s.localID = growI32(s.localID, n)
+	s.initNodes = growI32(s.initNodes, n)
+	nodes := s.initNodes[:n]
 	for i := range nodes {
 		nodes[i] = int32(i)
 	}
-	recursiveBisect(g, nodes, 0, k, targets, imbalance, rng, parts)
-	return parts
+	s.recursiveBisect(g, nodes, 0, k, targets, imbalance, parts)
 }
 
 // recursiveBisect assigns partitions [firstPart, firstPart+k) to the given
-// subset of nodes.
-func recursiveBisect(g *Graph, nodes []int32, firstPart, k int, targets []float64, imbalance float64, rng *rand.Rand, parts []int32) {
+// subset of nodes. nodes is reordered in place (stably, keeping ascending
+// id order on both sides) so each half is a contiguous subslice.
+func (s *Solver) recursiveBisect(g *Graph, nodes []int32, firstPart, k int, targets []float64, imbalance float64, parts []int32) {
 	if k == 1 {
 		for _, u := range nodes {
 			parts[u] = int32(firstPart)
@@ -39,41 +40,70 @@ func recursiveBisect(g *Graph, nodes []int32, firstPart, k int, targets []float6
 	if fracAll <= 0 {
 		fracAll = 1
 	}
-	sub := induce(g, nodes)
-	side := bisect(sub, fracL/fracAll, imbalance, rng)
-	var left, right []int32
+	s.induce(g, nodes)
+	side := s.bisect(&s.bis.sub, fracL/fracAll, imbalance)
+	// Stable split: left side compacts forward, right side round-trips
+	// through the scratch buffer. Both halves stay in ascending id order,
+	// so induced subgraphs keep sorted adjacency at every depth.
+	s.bis.nodesTmp = growI32(s.bis.nodesTmp, len(nodes))
+	tmp := s.bis.nodesTmp[:0]
+	nl := 0
 	for i, u := range nodes {
 		if side[i] == 0 {
-			left = append(left, u)
+			nodes[nl] = u
+			nl++
 		} else {
-			right = append(right, u)
+			tmp = append(tmp, u)
 		}
 	}
-	recursiveBisect(g, left, firstPart, kL, targets, imbalance, rng, parts)
-	recursiveBisect(g, right, firstPart+kL, kR, targets, imbalance, rng, parts)
+	copy(nodes[nl:], tmp)
+	s.recursiveBisect(g, nodes[:nl], firstPart, kL, targets, imbalance, parts)
+	s.recursiveBisect(g, nodes[nl:], firstPart+kL, kR, targets, imbalance, parts)
 }
 
 // induce extracts the subgraph on the given nodes (edges to outside nodes
-// are dropped). Node i of the subgraph corresponds to nodes[i].
-func induce(g *Graph, nodes []int32) *Graph {
-	local := make(map[int32]int32, len(nodes))
+// are dropped) into s.bis.sub. Node i of the subgraph corresponds to
+// nodes[i]. Membership is an epoch-stamped array instead of a map; the
+// subgraph dies when its node set is split, so one scratch set serves
+// every recursion depth.
+func (s *Solver) induce(g *Graph, nodes []int32) {
+	n := len(nodes)
+	stampGen := s.nextStamp()
+	stamp, lid := s.localStamp, s.localID
 	for i, u := range nodes {
-		local[u] = int32(i)
+		stamp[u] = stampGen
+		lid[u] = int32(i)
 	}
-	nwgt := make([]int64, len(nodes))
-	var edges []BuilderEdge
+	s.bis.xadj = growI32(s.bis.xadj, n+1)
+	xadj := s.bis.xadj[:n+1]
+	xadj[0] = 0
 	for i, u := range nodes {
+		deg := int32(0)
+		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+			if stamp[g.Adj[j]] == stampGen {
+				deg++
+			}
+		}
+		xadj[i+1] = xadj[i] + deg
+	}
+	m := int(xadj[n])
+	s.bis.adj = growI32(s.bis.adj, m)
+	s.bis.ewgt = growI64(s.bis.ewgt, m)
+	s.bis.nwgt = growI64(s.bis.nwgt, n)
+	adj, ewgt, nwgt := s.bis.adj[:m], s.bis.ewgt[:m], s.bis.nwgt[:n]
+	for i, u := range nodes {
+		p := xadj[i]
 		nwgt[i] = g.NodeWeight(u)
 		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
 			v := g.Adj[j]
-			lv, ok := local[v]
-			if !ok || lv <= int32(i) {
-				continue
+			if stamp[v] == stampGen {
+				adj[p] = lid[v]
+				ewgt[p] = g.edgeWeight(j)
+				p++
 			}
-			edges = append(edges, BuilderEdge{U: int32(i), V: lv, Weight: g.edgeWeight(j)})
 		}
 	}
-	return NewGraph(len(nodes), edges, nwgt)
+	s.bis.sub = Graph{XAdj: xadj, Adj: adj, EWgt: ewgt, NWgt: nwgt}
 }
 
 // ggAttempts is how many greedy-graph-growing seeds bisect tries before
@@ -82,23 +112,26 @@ const ggAttempts = 4
 
 // bisect splits g into sides 0 and 1, with side 0 receiving approximately
 // fracL of the total node weight, using greedy graph growing followed by
-// FM refinement. Returns the side of each node.
-func bisect(g *Graph, fracL, imbalance float64, rng *rand.Rand) []int32 {
+// FM refinement. Returns the side of each node (valid until the next
+// bisect call).
+func (s *Solver) bisect(g *Graph, fracL, imbalance float64) []int32 {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil
 	}
 	total := g.TotalNodeWeight()
 	target := int64(float64(total) * fracL)
-	var bestSide []int32
+	s.bis.side = growI32(s.bis.side, n)
+	s.bis.bestSide = growI32(s.bis.bestSide, n)
+	side, bestSide := s.bis.side[:n], s.bis.bestSide[:n]
 	var bestCut int64 = -1
 	for try := 0; try < ggAttempts; try++ {
-		side := growRegion(g, target, rng)
-		fmRefineBisection(g, side, target, total, imbalance, 4)
+		s.growRegion(g, side, target)
+		s.fmRefineBisection(g, side, target, total, imbalance, 4)
 		cut := g.EdgeCut(side)
 		if bestCut < 0 || cut < bestCut {
 			bestCut = cut
-			bestSide = side
+			copy(bestSide, side)
 		}
 	}
 	return bestSide
@@ -107,18 +140,24 @@ func bisect(g *Graph, fracL, imbalance float64, rng *rand.Rand) []int32 {
 // growRegion grows side 0 from a random seed, always absorbing the frontier
 // vertex with the strongest connection to the region, until side 0 holds at
 // least target weight. Disconnected remainders seed new growth fronts.
-func growRegion(g *Graph, target int64, rng *rand.Rand) []int32 {
+func (s *Solver) growRegion(g *Graph, side []int32, target int64) {
 	n := g.NumNodes()
-	side := make([]int32, n)
 	for i := range side {
 		side[i] = 1
 	}
 	if target <= 0 {
-		return side
+		return
 	}
-	inRegion := make([]bool, n)
-	conn := make([]int64, n) // connection weight of frontier vertices to the region
-	pq := &nodeHeap{}
+	s.bis.inRegion = growBool(s.bis.inRegion, n)
+	s.bis.conn = growI64(s.bis.conn, n)
+	s.bis.hpos = growI32(s.bis.hpos, n)
+	inRegion, conn := s.bis.inRegion[:n], s.bis.conn[:n]
+	for i := 0; i < n; i++ {
+		inRegion[i] = false
+		conn[i] = 0
+	}
+	pq := &s.bis.pq
+	pq.reset(n, s.bis.hpos)
 	var regionW int64
 	addNode := func(u int32) {
 		inRegion[u] = true
@@ -130,14 +169,14 @@ func growRegion(g *Graph, target int64, rng *rand.Rand) []int32 {
 				continue
 			}
 			conn[v] += g.edgeWeight(j)
-			heap.Push(pq, nodeEntry{node: v, key: conn[v]})
+			pq.set(v, conn[v])
 		}
 	}
-	perm := rng.Perm(n)
+	perm := s.permute(n)
 	pi := 0
 	nextSeed := func() int32 {
 		for pi < n {
-			u := int32(perm[pi])
+			u := perm[pi]
 			pi++
 			if !inRegion[u] {
 				return u
@@ -147,9 +186,8 @@ func growRegion(g *Graph, target int64, rng *rand.Rand) []int32 {
 	}
 	for regionW < target {
 		var u int32 = -1
-		for pq.Len() > 0 {
-			e := heap.Pop(pq).(nodeEntry)
-			if !inRegion[e.node] && conn[e.node] == e.key {
+		for pq.len() > 0 {
+			if e := pq.popMax(); !inRegion[e.node] {
 				u = e.node
 				break
 			}
@@ -161,34 +199,13 @@ func growRegion(g *Graph, target int64, rng *rand.Rand) []int32 {
 		}
 		addNode(u)
 	}
-	return side
-}
-
-// nodeEntry and nodeHeap implement a max-heap keyed by connection weight.
-type nodeEntry struct {
-	node int32
-	key  int64
-}
-
-type nodeHeap []nodeEntry
-
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }
 
 // fmRefineBisection runs Fiduccia–Mattheyses passes on a 2-way partition:
 // in each pass vertices are moved one at a time in order of best gain
 // (subject to the balance constraint), each vertex at most once; at the end
 // of the pass the prefix of moves with the best cumulative cut is kept.
-func fmRefineBisection(g *Graph, side []int32, targetL, total int64, imbalance float64, maxPasses int) {
+func (s *Solver) fmRefineBisection(g *Graph, side []int32, targetL, total int64, imbalance float64, maxPasses int) {
 	n := g.NumNodes()
 	maxL := int64(float64(targetL) * imbalance)
 	maxR := int64(float64(total-targetL) * imbalance)
@@ -202,38 +219,34 @@ func fmRefineBisection(g *Graph, side []int32, targetL, total int64, imbalance f
 	for i := 0; i < n; i++ {
 		weights[side[i]] += g.NodeWeight(int32(i))
 	}
-	gain := make([]int64, n)
-	computeGain := func(u int32) int64 {
-		var ext, intl int64
-		for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
-			if side[g.Adj[j]] == side[u] {
-				intl += g.edgeWeight(j)
-			} else {
-				ext += g.edgeWeight(j)
-			}
-		}
-		return ext - intl
-	}
+	s.bis.gain = growI64(s.bis.gain, n)
+	s.bis.locked = growBool(s.bis.locked, n)
+	s.bis.hpos = growI32(s.bis.hpos, n)
+	gain, locked := s.bis.gain[:n], s.bis.locked[:n]
+	pq := &s.bis.pq
 	for pass := 0; pass < maxPasses; pass++ {
-		locked := make([]bool, n)
-		pq := &nodeHeap{}
+		for i := 0; i < n; i++ {
+			locked[i] = false
+		}
+		pq.reset(n, s.bis.hpos)
 		for u := int32(0); int(u) < n; u++ {
-			gain[u] = computeGain(u)
-			heap.Push(pq, nodeEntry{node: u, key: gain[u]})
+			var ext, intl int64
+			for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
+				if side[g.Adj[j]] == side[u] {
+					intl += g.edgeWeight(j)
+				} else {
+					ext += g.edgeWeight(j)
+				}
+			}
+			gain[u] = ext - intl
+			pq.set(u, gain[u])
 		}
-		type move struct {
-			node int32
-			from int32
-		}
-		var moves []move
+		moves := s.bis.moves[:0]
 		var cum, best int64
 		bestIdx := -1
-		for pq.Len() > 0 {
-			e := heap.Pop(pq).(nodeEntry)
+		for pq.len() > 0 {
+			e := pq.popMax()
 			u := e.node
-			if locked[u] || gain[u] != e.key {
-				continue
-			}
 			from := side[u]
 			to := 1 - from
 			w := g.NodeWeight(u)
@@ -252,18 +265,30 @@ func fmRefineBisection(g *Graph, side []int32, targetL, total int64, imbalance f
 			weights[to] += w
 			locked[u] = true
 			cum += gain[u]
-			moves = append(moves, move{node: u, from: from})
+			moves = append(moves, moveRec{node: u, from: from})
 			if cum > best {
 				best = cum
 				bestIdx = len(moves) - 1
 			}
+			// Incremental gain update: u's move flips the classification
+			// of each incident edge for the neighbour — internal edges to
+			// u's old side become cut (+2w) and cut edges to its new side
+			// become internal (-2w). O(1) per neighbour instead of the
+			// O(deg) full recomputation, which made dense coarsest graphs
+			// quadratic per move. A balance-rejected neighbour re-enters
+			// the heap here when its gain changes.
 			for j := g.XAdj[u]; j < g.XAdj[u+1]; j++ {
 				v := g.Adj[j]
 				if locked[v] {
 					continue
 				}
-				gain[v] = computeGain(v)
-				heap.Push(pq, nodeEntry{node: v, key: gain[v]})
+				w2 := 2 * g.edgeWeight(j)
+				if side[v] == from {
+					gain[v] += w2
+				} else {
+					gain[v] -= w2
+				}
+				pq.set(v, gain[v])
 			}
 		}
 		// Roll back moves past the best prefix.
@@ -274,6 +299,7 @@ func fmRefineBisection(g *Graph, side []int32, targetL, total int64, imbalance f
 			weights[m.from] += w
 			side[m.node] = m.from
 		}
+		s.bis.moves = moves[:0]
 		if best <= 0 {
 			break
 		}

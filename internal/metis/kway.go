@@ -1,9 +1,6 @@
 package metis
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // Options control the partitioner.
 type Options struct {
@@ -39,7 +36,22 @@ func (o Options) withDefaults(k int) Options {
 // PartKway partitions g into k balanced parts minimising the weighted edge
 // cut, in the style of METIS kmetis (§4.2 of the Schism paper). It returns
 // the partition label of every node and the achieved edge cut.
+//
+// Scratch memory comes from a pooled Solver, so steady-state calls
+// allocate little beyond the returned label slice. Output depends only on
+// (g, k, opts) — never on pool state or GOMAXPROCS.
 func PartKway(g *Graph, k int, opts Options) ([]int32, int64, error) {
+	s := solverPool.Get().(*Solver)
+	parts, cut, err := s.PartKway(g, k, opts)
+	solverPool.Put(s)
+	return parts, cut, err
+}
+
+// PartKway is the context-reusing form of the package-level PartKway:
+// every scratch buffer the multilevel pipeline needs lives in the Solver
+// and is recycled across calls. Equal (g, k, opts) give byte-identical
+// results whether the Solver is fresh or reused.
+func (s *Solver) PartKway(g *Graph, k int, opts Options) ([]int32, int64, error) {
 	n := g.NumNodes()
 	if k < 1 {
 		return nil, 0, fmt.Errorf("metis: k must be >= 1, got %d", k)
@@ -55,19 +67,36 @@ func PartKway(g *Graph, k int, opts Options) ([]int32, int64, error) {
 		return parts, g.EdgeCut(parts), nil
 	}
 	opts = opts.withDefaults(k)
-	rng := rand.New(rand.NewSource(opts.Seed))
+	s.src.Seed(opts.Seed)
 
-	levels := coarsen(g, opts.CoarsenTo, rng)
-	coarsest := levels[len(levels)-1].g
+	// Size the k-dependent scratch. conn must start all-zero: refinement
+	// maintains that invariant via sparse resets.
+	s.conn = growI64(s.conn, k)
+	for i := range s.conn {
+		s.conn[i] = 0
+	}
+	s.pw = growI64(s.pw, k)
+	s.maxPW = growI64(s.maxPW, k)
 
-	targets := make([]float64, k)
+	numLevels := s.coarsen(g, opts.CoarsenTo)
+	coarsest := s.levelGraph(g, numLevels-1)
+
+	s.targets = growF64(s.targets, k)
+	targets := s.targets[:k]
 	for i := range targets {
 		targets[i] = 1.0 / float64(k)
 	}
-	cparts := initialPartition(coarsest, k, targets, opts.Imbalance, rng)
+
+	cparts := parts
+	if numLevels > 1 {
+		lv := s.levels[numLevels-1]
+		lv.parts = growI32(lv.parts, coarsest.NumNodes())
+		cparts = lv.parts[:coarsest.NumNodes()]
+	}
+	s.initialPartition(coarsest, k, targets, opts.Imbalance, cparts)
 
 	total := g.TotalNodeWeight()
-	maxPW := make([]int64, k)
+	maxPW := s.maxPW[:k]
 	for p := 0; p < k; p++ {
 		m := int64(float64(total) * targets[p] * opts.Imbalance)
 		// Always permit at least the ceiling of perfect balance so that a
@@ -80,17 +109,42 @@ func PartKway(g *Graph, k int, opts Options) ([]int32, int64, error) {
 
 	// Refine at the coarsest level, then project and refine at each finer
 	// level. Balance caps are expressed in total weight, which is invariant
-	// across levels.
-	kwayRefine(coarsest, cparts, k, maxPW, opts.Passes, rng)
-	for li := len(levels) - 2; li >= 0; li-- {
-		fine := levels[li]
-		fparts := make([]int32, fine.g.NumNodes())
-		for u := range fparts {
-			fparts[u] = cparts[fine.cmap[u]]
+	// across levels; the boundary worklist is reseeded from the cut edges
+	// of each projection. Bisections get boundary-restricted FM (hill
+	// climbing with rollback); k > 2 gets the greedy boundary pass.
+	refine := func(lg *Graph, lparts []int32) {
+		if k == 2 {
+			s.fmRefine2(lg, lparts, opts.Passes)
+		} else {
+			s.kwayRefine(lg, lparts, k, opts.Passes)
 		}
-		rebalance(fine.g, fparts, k, maxPW, rng)
-		kwayRefine(fine.g, fparts, k, maxPW, opts.Passes, rng)
+	}
+	s.seedRefinement(coarsest, cparts, k)
+	refine(coarsest, cparts)
+	for li := numLevels - 2; li >= 0; li-- {
+		fg := s.levelGraph(g, li)
+		fn := fg.NumNodes()
+		fparts := parts
+		if li > 0 {
+			lv := s.levels[li]
+			lv.parts = growI32(lv.parts, fn)
+			fparts = lv.parts[:fn]
+		}
+		cmap := s.levels[li].cmap[:fn]
+		for u := 0; u < fn; u++ {
+			fparts[u] = cparts[cmap[u]]
+		}
+		s.seedRefinement(fg, fparts, k)
+		s.rebalance(fg, fparts, k)
+		refine(fg, fparts)
 		cparts = fparts
 	}
-	return cparts, g.EdgeCut(cparts), nil
+	// The refinement loop left s.ed consistent for the finest level, so
+	// the cut is half the external-degree sum — no O(E) recount. The
+	// partitioner tests re-verify this against Graph.EdgeCut.
+	var cut int64
+	for _, e := range s.ed[:n] {
+		cut += e
+	}
+	return parts, cut / 2, nil
 }

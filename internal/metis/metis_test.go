@@ -262,9 +262,13 @@ func TestEdgeCutCounts(t *testing.T) {
 
 func TestContractPreservesWeight(t *testing.T) {
 	g := randomGraph(200, 600, 3)
-	rng := rand.New(rand.NewSource(5))
-	cmap, nc := heavyEdgeMatch(g, rng)
-	coarse := contract(g, cmap, nc)
+	s := NewSolver()
+	s.src.Seed(5)
+	cmap := make([]int32, g.NumNodes())
+	nc := s.heavyEdgeMatch(g, cmap)
+	var out levelData
+	s.contract(g, cmap, nc, &out)
+	coarse := &out.graph
 	if coarse.TotalNodeWeight() != g.TotalNodeWeight() {
 		t.Fatalf("coarse weight %d != fine weight %d", coarse.TotalNodeWeight(), g.TotalNodeWeight())
 	}
@@ -278,30 +282,19 @@ func TestContractPreservesWeight(t *testing.T) {
 
 func TestCoarsenHierarchy(t *testing.T) {
 	g := randomGraph(2000, 8000, 11)
-	rng := rand.New(rand.NewSource(2))
-	levels := coarsen(g, 100, rng)
-	if len(levels) < 2 {
+	s := NewSolver()
+	s.src.Seed(2)
+	numLevels := s.coarsen(g, 100)
+	if numLevels < 2 {
 		t.Fatal("expected at least one coarsening level")
 	}
-	for i := 0; i < len(levels)-1; i++ {
-		if levels[i].cmap == nil {
+	for i := 0; i < numLevels-1; i++ {
+		fine := s.levelGraph(g, i)
+		if len(s.levels[i].cmap) < fine.NumNodes() {
 			t.Fatalf("level %d missing cmap", i)
 		}
-		if levels[i+1].g.NumNodes() >= levels[i].g.NumNodes() {
+		if s.levelGraph(g, i+1).NumNodes() >= fine.NumNodes() {
 			t.Fatalf("level %d did not shrink", i)
-		}
-	}
-	if last := levels[len(levels)-1]; last.cmap != nil {
-		t.Fatal("coarsest level should have nil cmap")
-	}
-}
-
-func BenchmarkPartKway(b *testing.B) {
-	g := randomGraph(10000, 50000, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := PartKway(g, 16, Options{Seed: int64(i)}); err != nil {
-			b.Fatal(err)
 		}
 	}
 }

@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
-# Runs the graph-construction microbenchmarks (graph.Build and
-# metis.NewGraph) with -benchmem and records the results as JSON, so the
-# perf trajectory is tracked PR over PR: BENCH_1.json for this PR,
-# BENCH_2.json for the next, and so on.
+# Runs the performance-tracked microbenchmarks — graph construction
+# (graph.Build, metis.NewGraph) and the multilevel partitioner
+# (BenchmarkPartKway on the TPCC-50W-scale graph, BenchmarkPartKwaySolver
+# steady-state) — with -benchmem and records the results as JSON, so the
+# perf trajectory is tracked PR over PR: BENCH_1.json for PR 1,
+# BENCH_2.json for PR 2, and so on.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=10x scripts/bench.sh   # more iterations for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
+OUT="${1:-BENCH_2.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph' -benchmem \
-    -benchtime "${BENCHTIME:-3x}" ./internal/graph ./internal/metis | tee "$TXT"
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis | tee "$TXT"
 
 awk '
 BEGIN { print "["; first = 1 }
