@@ -14,6 +14,7 @@ import (
 
 	"schism/internal/experiments"
 	"schism/internal/graph"
+	"schism/internal/live"
 	"schism/internal/metis"
 	"schism/internal/partition"
 	"schism/internal/workload"
@@ -55,6 +56,54 @@ func BenchmarkPartKway(b *testing.B) {
 			b.ReportMetric(float64(g.CSR.NumNodes()), "nodes")
 		})
 	}
+}
+
+// BenchmarkLiveRepartition measures one full incremental-repartitioning
+// cycle of the live control loop at TPCC-50W trace scale: snapshot the
+// capture window, rebuild the workload graph, min-cut partition it with
+// the held solver, relabel against the deployed assignment, and plan the
+// migration. This is the steady-state cost of reacting to drift
+// (scripts/bench.sh snapshots it into BENCH_<n>.json).
+func BenchmarkLiveRepartition(b *testing.B) {
+	w := workloads.TPCC(workloads.TPCCConfig{
+		Warehouses: 50, Customers: 20, Items: 500,
+		InitialOrders: 5, Txns: 25000, Seed: 5,
+	})
+	win := live.NewWindow(live.WindowConfig{Capacity: len(w.Trace.Txns)})
+	for _, t := range w.Trace.Txns {
+		win.Record(t.Accesses)
+	}
+	initial, err := live.NewRepartitioner(live.RepartitionConfig{
+		K:     8,
+		Graph: graph.Options{Replication: true, Coalesce: true, Seed: 3},
+		Metis: metis.Options{Seed: 7},
+	}).Repartition(win.Snapshot(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior := initial.LocateFunc()
+	// The measured repartitioner uses a different partitioner seed, so its
+	// labels come out shuffled relative to the deployed assignment and the
+	// relabel + plan stages do real work (same-seed reruns are identical
+	// by determinism and would plan zero moves).
+	rep := live.NewRepartitioner(live.RepartitionConfig{
+		K:     8,
+		Graph: graph.Options{Replication: true, Coalesce: true, Seed: 3},
+		Metis: metis.Options{Seed: 8},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var moved, naive int
+	for i := 0; i < b.N; i++ {
+		res, err := rep.Repartition(win.Snapshot(), prior)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := live.BuildPlan(res.Tuples, prior, res.Assignments)
+		moved, naive = len(plan.Moves), res.NaiveDiff.Moved
+	}
+	b.ReportMetric(float64(moved), "moved")
+	b.ReportMetric(float64(naive), "naive-moved")
 }
 
 // BenchmarkFigure1 regenerates Fig. 1 (the price of distribution): the

@@ -9,6 +9,12 @@
 //
 // Tuning flags expose the §5.1 graph heuristics (sampling, coalescing) and
 // the replication ablation.
+//
+// The drift subcommand runs the internal/live online-repartitioning loop
+// against a shifting workload (deterministic control-loop simulation plus
+// a live cluster run with tuple migration under traffic):
+//
+//	schism drift -scenario ycsb|tpcc [-scale n] [-quick] [-sim-only]
 package main
 
 import (
@@ -18,11 +24,43 @@ import (
 	"strings"
 
 	"schism/internal/core"
+	"schism/internal/experiments"
 	"schism/internal/graph"
 	"schism/internal/workloads"
 )
 
+// driftMain drives the online-repartitioning experiment.
+func driftMain(args []string) {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	scenario := fs.String("scenario", "ycsb", "drift scenario: ycsb|tpcc")
+	scale := fs.Int("scale", 1, "dataset scale factor")
+	quick := fs.Bool("quick", false, "tiny datasets for smoke runs")
+	simOnly := fs.Bool("sim-only", false, "run only the deterministic control-loop simulation")
+	fs.Parse(args)
+
+	s := experiments.Scale{Factor: *scale, Quick: *quick}
+	if *simOnly {
+		sim, err := experiments.DriftSimRun(*scenario, s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schism drift:", err)
+			os.Exit(1)
+		}
+		experiments.PrintDrift(os.Stdout, experiments.DriftResult{Sim: sim})
+		return
+	}
+	res, err := experiments.Drift(*scenario, s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schism drift:", err)
+		os.Exit(1)
+	}
+	experiments.PrintDrift(os.Stdout, res)
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "drift" {
+		driftMain(os.Args[2:])
+		return
+	}
 	name := flag.String("workload", "tpcc", "workload: tpcc|tpce|ycsb-a|ycsb-e|epinions|random")
 	k := flag.Int("partitions", 2, "number of partitions")
 	seed := flag.Int64("seed", 42, "random seed")

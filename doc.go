@@ -10,6 +10,18 @@
 // path works on interned dense tuple ids (workload.Interner) with
 // deterministic parallel edge generation and counting-sort CSR assembly;
 // DESIGN.md documents that layer and scripts/bench.sh tracks its
-// performance over time. Run the evaluation with cmd/experiments and the
-// partitioner with cmd/schism.
+// performance over time.
+//
+// Beyond the paper's one-shot pipeline, internal/live turns the system
+// adaptive: a capture hook on the cluster coordinator streams committed
+// transactions' read/write sets into a ring-buffered window, a drift
+// detector re-scores the deployed placement against it, and an
+// incremental repartitioner reruns the graph pipeline, relabels the
+// result for minimal movement, and migrates tuples through the cluster
+// while traffic continues (see DESIGN.md, "Online repartitioning", and
+// examples/drift).
+//
+// Run the evaluation with cmd/experiments, the partitioner with
+// cmd/schism, and the online-repartitioning experiment with
+// `schism drift` or `experiments -run drift`.
 package schism

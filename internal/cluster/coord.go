@@ -4,20 +4,34 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"schism/internal/partition"
 	"schism/internal/sqlparse"
 	"schism/internal/storage"
 	"schism/internal/txn"
+	"schism/internal/workload"
 )
+
+// CaptureFunc receives the ground-truth access set of one committed
+// transaction (every tuple its statements matched, with write flags, as
+// reported by the executing nodes). The slice is reused by the caller and
+// only valid for the duration of the call; sinks must not retain it.
+type CaptureFunc func(accs []workload.Access)
 
 // Coordinator is the middleware layer of §5.4 / App. C.2: it parses SQL,
 // consults the partitioning strategy to find destination partitions, and
 // coordinates two-phase commit for transactions spanning nodes.
 type Coordinator struct {
-	c        *Cluster
+	c *Cluster
+
+	mu       sync.RWMutex
 	strategy partition.Strategy
+	capture  CaptureFunc
+
+	actMu  sync.Mutex
+	active map[txn.TS]struct{}
 }
 
 // NewCoordinator attaches a router with the given strategy to the cluster.
@@ -27,28 +41,135 @@ func NewCoordinator(c *Cluster, strategy partition.Strategy) *Coordinator {
 		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d nodes",
 			strategy.NumPartitions(), c.NumNodes()))
 	}
-	return &Coordinator{c: c, strategy: strategy}
+	return &Coordinator{c: c, strategy: strategy, active: make(map[txn.TS]struct{})}
+}
+
+// register/deregister maintain the active-transaction set Drain waits on.
+// A transaction is active from Begin (or retry reset) until it commits or
+// aborts; wait-die retries therefore leave and re-enter the set.
+func (co *Coordinator) register(ts txn.TS) {
+	co.actMu.Lock()
+	co.active[ts] = struct{}{}
+	co.actMu.Unlock()
+}
+
+func (co *Coordinator) deregister(ts txn.TS) {
+	co.actMu.Lock()
+	delete(co.active, ts)
+	co.actMu.Unlock()
+}
+
+// Drain blocks until every transaction active at the time of the call has
+// committed or aborted. Transactions begun afterwards are not waited for.
+// The live migration executor uses this as an epoch barrier: after a
+// routing-entry flip plus a Drain, no in-flight transaction can still be
+// operating on the pre-flip route.
+//
+// A handle abandoned without Commit or Abort would wedge the barrier, so
+// the wait per transaction is bounded: past ~2x the lock timeout the
+// transaction cannot be holding any lock wait and is treated as leaked —
+// it is evicted from the active set and skipped.
+func (co *Coordinator) Drain() {
+	co.actMu.Lock()
+	snap := make([]txn.TS, 0, len(co.active))
+	for ts := range co.active {
+		snap = append(snap, ts)
+	}
+	co.actMu.Unlock()
+	deadline := time.Now().Add(2 * co.c.cfg.LockTimeout)
+	for _, ts := range snap {
+		for {
+			co.actMu.Lock()
+			_, live := co.active[ts]
+			co.actMu.Unlock()
+			if !live {
+				break
+			}
+			if time.Now().After(deadline) {
+				co.deregister(ts)
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// Strategy returns the currently deployed routing strategy.
+func (co *Coordinator) Strategy() partition.Strategy {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	return co.strategy
+}
+
+// SetStrategy swaps the routing strategy. In-flight transactions keep the
+// strategy they started with; retries pick up the new one.
+func (co *Coordinator) SetStrategy(s partition.Strategy) {
+	if s.NumPartitions() != co.c.NumNodes() {
+		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d nodes",
+			s.NumPartitions(), co.c.NumNodes()))
+	}
+	co.mu.Lock()
+	co.strategy = s
+	co.mu.Unlock()
+}
+
+// SetCapture installs (or, with nil, removes) the workload-capture hook:
+// after every successful commit the transaction's observed read/write set
+// is passed to fn. Transactions begun while no hook is installed incur no
+// capture overhead.
+func (co *Coordinator) SetCapture(fn CaptureFunc) {
+	co.mu.Lock()
+	co.capture = fn
+	co.mu.Unlock()
 }
 
 // Txn is a client transaction handle. Not safe for concurrent use.
 type Txn struct {
 	co      *Coordinator
 	ts      txn.TS
+	strat   partition.Strategy
 	touched map[int]bool
 	failed  bool
+	system  bool // capture-exempt (migration and other internal work)
 	rng     *rand.Rand
+
+	capture CaptureFunc
+	accs    []workload.Access
 }
 
 // Begin starts a transaction with a fresh wait-die timestamp.
-func (co *Coordinator) Begin() *Txn {
-	return &Txn{co: co, ts: co.c.clock.Next(), touched: make(map[int]bool), rng: rand.New(rand.NewSource(int64(co.c.clock.Next())))}
+func (co *Coordinator) Begin() *Txn { return co.begin(false) }
+
+func (co *Coordinator) begin(system bool) *Txn {
+	co.mu.RLock()
+	strat, capture := co.strategy, co.capture
+	co.mu.RUnlock()
+	if system {
+		capture = nil
+	}
+	t := &Txn{
+		co: co, ts: co.c.clock.Next(), strat: strat, capture: capture, system: system,
+		touched: make(map[int]bool),
+		rng:     rand.New(rand.NewSource(int64(co.c.clock.Next()))),
+	}
+	co.register(t.ts)
+	return t
 }
 
 // reset prepares the handle for a retry, KEEPING the timestamp: wait-die
 // relies on retried transactions aging so they eventually win conflicts.
+// The routing strategy is re-read so retries observe live swaps.
 func (t *Txn) reset() {
+	t.co.mu.RLock()
+	t.strat, t.capture = t.co.strategy, t.co.capture
+	t.co.mu.RUnlock()
+	if t.system {
+		t.capture = nil
+	}
 	t.touched = make(map[int]bool)
 	t.failed = false
+	t.accs = t.accs[:0]
+	t.co.register(t.ts)
 }
 
 // Touched returns the number of nodes this transaction has accessed.
@@ -79,7 +200,7 @@ func (t *Txn) ExecStmt(stmt sqlparse.Statement) ([]storage.Row, error) {
 		return nil, nil
 	}
 	table, cons, routable := sqlparse.Constraints(stmt)
-	route := t.co.strategy.RouteStmt(table, cons, routable)
+	route := t.strat.RouteStmt(table, cons, routable)
 	write := isWrite(stmt)
 
 	var targets []int
@@ -98,15 +219,57 @@ func (t *Txn) ExecStmt(stmt sqlparse.Statement) ([]storage.Row, error) {
 	if len(targets) == 0 {
 		targets = allNodes(t.co.c.NumNodes())
 	}
+	return t.execOn(stmt, table, write, targets)
+}
 
+// ExecStmtAt executes a pre-parsed statement on an explicit node set,
+// bypassing the router. The live migration executor uses this to read a
+// tuple at its current home and re-create it at its new one; row locks and
+// two-phase commit apply exactly as for routed statements.
+func (t *Txn) ExecStmtAt(stmt sqlparse.Statement, nodes []int) ([]storage.Row, error) {
+	if t.failed {
+		return nil, errors.New("cluster: transaction already failed; abort and retry")
+	}
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	table, _, _ := sqlparse.Constraints(stmt)
+	return t.execOn(stmt, table, isWrite(stmt), nodes)
+}
+
+// execOn fans a statement out to targets and merges the replies, recording
+// the accessed tuples when capture is on. A statement touching several
+// nodes (write-all on replicated tuples, broadcast reads) has every
+// replica report the same logical key; those are deduplicated so the
+// captured access set matches offline trace semantics (one access per
+// tuple per statement).
+func (t *Txn) execOn(stmt sqlparse.Statement, table string, write bool, targets []int) ([]storage.Row, error) {
 	resps := t.fanout(reqExec, stmt, targets)
 	var rows []storage.Row
+	var seen map[int64]struct{}
+	if t.capture != nil && len(targets) > 1 {
+		seen = make(map[int64]struct{})
+	}
 	for _, r := range resps {
 		if r.err != nil {
 			t.failed = true
 			return nil, r.err
 		}
 		rows = append(rows, r.rows...)
+		if t.capture != nil {
+			for _, k := range r.keys {
+				if seen != nil {
+					if _, dup := seen[k]; dup {
+						continue
+					}
+					seen[k] = struct{}{}
+				}
+				t.accs = append(t.accs, workload.Access{
+					Tuple: workload.TupleID{Table: table, Key: k},
+					Write: write,
+				})
+			}
+		}
 	}
 	return rows, nil
 }
@@ -131,7 +294,7 @@ func (t *Txn) fanout(kind reqKind, stmt sqlparse.Statement, targets []int) []res
 	slots := make([]slot, len(targets))
 	for i, nid := range targets {
 		slots[i].reply = make(chan response, 1)
-		r := &request{kind: kind, ts: t.ts, stmt: stmt, reply: slots[i].reply}
+		r := &request{kind: kind, ts: t.ts, stmt: stmt, capture: t.capture != nil, reply: slots[i].reply}
 		t.touched[nid] = true
 		t.co.c.nodes[nid].send(r)
 	}
@@ -152,12 +315,15 @@ func (t *Txn) Commit() error {
 		t.Abort()
 		return errors.New("cluster: commit of failed transaction")
 	}
+	defer t.co.deregister(t.ts)
 	nodes := touchedNodes(t.touched)
 	if len(nodes) == 0 {
+		t.captured()
 		return nil
 	}
 	if len(nodes) == 1 {
 		t.fanout(reqCommit, nil, nodes)
+		t.captured()
 		return nil
 	}
 	votes := t.fanout(reqPrepare, nil, nodes)
@@ -168,7 +334,17 @@ func (t *Txn) Commit() error {
 		}
 	}
 	t.fanout(reqCommit, nil, nodes)
+	t.captured()
 	return nil
+}
+
+// captured delivers the committed transaction's access set to the capture
+// hook.
+func (t *Txn) captured() {
+	if t.capture != nil && len(t.accs) > 0 {
+		t.capture(t.accs)
+		t.accs = t.accs[:0]
+	}
 }
 
 // Abort rolls the transaction back on every touched node.
@@ -178,6 +354,7 @@ func (t *Txn) Abort() {
 		t.fanout(reqAbort, nil, nodes)
 	}
 	t.failed = true
+	t.co.deregister(t.ts)
 }
 
 func touchedNodes(m map[int]bool) []int {
@@ -215,7 +392,17 @@ func Retryable(err error) bool {
 // returns whether the committed execution was distributed and how many
 // aborts occurred.
 func (co *Coordinator) RunTxn(fn func(*Txn) error) (distributed bool, aborts int, err error) {
-	t := co.Begin()
+	return co.runTxn(co.begin(false), fn)
+}
+
+// RunSystemTxn is RunTxn with workload capture suppressed: internal work
+// (the live migration executor) must not record its own transactions into
+// the drift window it is reacting to.
+func (co *Coordinator) RunSystemTxn(fn func(*Txn) error) (distributed bool, aborts int, err error) {
+	return co.runTxn(co.begin(true), fn)
+}
+
+func (co *Coordinator) runTxn(t *Txn, fn func(*Txn) error) (distributed bool, aborts int, err error) {
 	const maxAttempts = 200
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		ferr := fn(t)
@@ -234,5 +421,6 @@ func (co *Coordinator) RunTxn(fn func(*Txn) error) (distributed bool, aborts int
 		time.Sleep(time.Duration(50+t.rng.Intn(200)) * time.Microsecond)
 		t.reset()
 	}
+	t.co.deregister(t.ts)
 	return false, aborts, fmt.Errorf("cluster: transaction starved after %d attempts", maxAttempts)
 }

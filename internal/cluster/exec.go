@@ -13,17 +13,19 @@ import (
 // execute runs one statement under strict 2PL against the node's local
 // database. Structure latches (n.latch) protect the B+tree/indexes; row
 // locks provide transaction isolation. Locks are never awaited while a
-// latch is held.
-func (n *Node) execute(ts txn.TS, st *txnState, stmt sqlparse.Statement) response {
+// latch is held. With capture set, the response reports the keys of every
+// row the statement actually matched — the ground truth the live workload
+// capture records.
+func (n *Node) execute(ts txn.TS, st *txnState, stmt sqlparse.Statement, capture bool) response {
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		return n.execSelect(ts, s)
+		return n.execSelect(ts, s, capture)
 	case *sqlparse.Update:
-		return n.execUpdate(ts, st, s)
+		return n.execUpdate(ts, st, s, capture)
 	case *sqlparse.Insert:
-		return n.execInsert(ts, st, s)
+		return n.execInsert(ts, st, s, capture)
 	case *sqlparse.Delete:
-		return n.execDelete(ts, st, s)
+		return n.execDelete(ts, st, s, capture)
 	default:
 		return response{err: fmt.Errorf("cluster: unsupported statement %T", stmt)}
 	}
@@ -132,7 +134,7 @@ func dedupInt64(keys []int64) []int64 {
 	return keys[:j]
 }
 
-func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select) response {
+func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select, capture bool) response {
 	if s.Join != nil {
 		return response{err: fmt.Errorf("cluster: runtime joins not supported")}
 	}
@@ -145,6 +147,7 @@ func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select) response {
 		mode = txn.Exclusive
 	}
 	var rows []storage.Row
+	var keys []int64
 	for _, k := range n.candidates(tbl, s.Table, s.Where) {
 		if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, mode); err != nil {
 			return response{err: err}
@@ -154,6 +157,9 @@ func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select) response {
 		n.latch.RUnlock()
 		if ok && evalRow(s.Where, tbl.Schema, row) {
 			rows = append(rows, projectRow(s, tbl.Schema, row))
+			if capture {
+				keys = append(keys, k)
+			}
 		}
 	}
 	if s.OrderBy != nil {
@@ -175,7 +181,9 @@ func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select) response {
 	if s.Limit >= 0 && len(rows) > s.Limit {
 		rows = rows[:s.Limit]
 	}
-	return response{rows: rows, n: len(rows)}
+	// keys lists every matched (hence locked and read) row, including any
+	// trimmed off by LIMIT: those reads happened.
+	return response{rows: rows, n: len(rows), keys: keys}
 }
 
 // projectRow applies the SELECT column list (copying; * returns the row).
@@ -205,12 +213,13 @@ func projectedIndex(s *sqlparse.Select, schema *storage.TableSchema, col string)
 	return -1
 }
 
-func (n *Node) execUpdate(ts txn.TS, st *txnState, s *sqlparse.Update) response {
+func (n *Node) execUpdate(ts txn.TS, st *txnState, s *sqlparse.Update, capture bool) response {
 	tbl := n.db.Table(s.Table)
 	if tbl == nil {
 		return response{err: fmt.Errorf("cluster: no table %q", s.Table)}
 	}
 	count := 0
+	var keys []int64
 	for _, k := range n.candidates(tbl, s.Table, s.Where) {
 		if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, txn.Exclusive); err != nil {
 			return response{err: err}
@@ -233,8 +242,11 @@ func (n *Node) execUpdate(ts txn.TS, st *txnState, s *sqlparse.Update) response 
 		}
 		n.latch.Unlock()
 		count++
+		if capture {
+			keys = append(keys, k)
+		}
 	}
-	return response{n: count}
+	return response{n: count, keys: keys}
 }
 
 func applySet(set []sqlparse.Assignment, schema *storage.TableSchema, row storage.Row) error {
@@ -271,7 +283,7 @@ func applySet(set []sqlparse.Assignment, schema *storage.TableSchema, row storag
 	return nil
 }
 
-func (n *Node) execInsert(ts txn.TS, st *txnState, s *sqlparse.Insert) response {
+func (n *Node) execInsert(ts txn.TS, st *txnState, s *sqlparse.Insert, capture bool) response {
 	tbl := n.db.Table(s.Table)
 	if tbl == nil {
 		return response{err: fmt.Errorf("cluster: no table %q", s.Table)}
@@ -298,15 +310,20 @@ func (n *Node) execInsert(ts txn.TS, st *txnState, s *sqlparse.Insert) response 
 		return response{err: err}
 	}
 	st.undo = append(st.undo, undoRec{table: s.Table, key: key, oldRow: nil})
-	return response{n: 1}
+	resp := response{n: 1}
+	if capture {
+		resp.keys = []int64{key}
+	}
+	return resp
 }
 
-func (n *Node) execDelete(ts txn.TS, st *txnState, s *sqlparse.Delete) response {
+func (n *Node) execDelete(ts txn.TS, st *txnState, s *sqlparse.Delete, capture bool) response {
 	tbl := n.db.Table(s.Table)
 	if tbl == nil {
 		return response{err: fmt.Errorf("cluster: no table %q", s.Table)}
 	}
 	count := 0
+	var keys []int64
 	for _, k := range n.candidates(tbl, s.Table, s.Where) {
 		if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, txn.Exclusive); err != nil {
 			return response{err: err}
@@ -317,8 +334,11 @@ func (n *Node) execDelete(ts txn.TS, st *txnState, s *sqlparse.Delete) response 
 			st.undo = append(st.undo, undoRec{table: s.Table, key: k, oldRow: row})
 			tbl.Delete(k)
 			count++
+			if capture {
+				keys = append(keys, k)
+			}
 		}
 		n.latch.Unlock()
 	}
-	return response{n: count}
+	return response{n: count, keys: keys}
 }

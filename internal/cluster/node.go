@@ -20,16 +20,18 @@ const (
 )
 
 type request struct {
-	kind   reqKind
-	ts     txn.TS
-	stmt   sqlparse.Statement
-	sentAt time.Time
-	reply  chan response
+	kind    reqKind
+	ts      txn.TS
+	stmt    sqlparse.Statement
+	capture bool // ask the executor to report accessed keys
+	sentAt  time.Time
+	reply   chan response
 }
 
 type response struct {
 	rows   []storage.Row
-	n      int // rows affected for writes
+	n      int     // rows affected for writes
+	keys   []int64 // accessed keys, populated only when request.capture
 	err    error
 	sentAt time.Time
 }
@@ -109,7 +111,7 @@ func (n *Node) worker() {
 		var resp response
 		switch r.kind {
 		case reqExec:
-			resp = n.execStmt(r.ts, r.stmt)
+			resp = n.execStmt(r.ts, r.stmt, r.capture)
 		case reqPrepare:
 			resp.err = n.prepare(r.ts)
 		case reqCommit:
@@ -134,12 +136,12 @@ func (n *Node) state(ts txn.TS) *txnState {
 	return st
 }
 
-func (n *Node) execStmt(ts txn.TS, stmt sqlparse.Statement) response {
+func (n *Node) execStmt(ts txn.TS, stmt sqlparse.Statement, capture bool) response {
 	st := n.state(ts)
 	if st.doomed {
 		return response{err: errors.New("cluster: transaction already failed on this node")}
 	}
-	resp := n.execute(ts, st, stmt)
+	resp := n.execute(ts, st, stmt, capture)
 	if resp.err != nil {
 		st.doomed = true
 	}

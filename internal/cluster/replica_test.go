@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"schism/internal/datum"
+	"schism/internal/lookup"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// newReplicatedCluster builds n nodes where table "account" is routed by a
+// lookup strategy: keys 0..singles-1 live on key%n, keys singles..total-1
+// are replicated on every node.
+func newReplicatedCluster(t testing.TB, n, singles, replicated int) (*Cluster, *Coordinator) {
+	t.Helper()
+	total := singles + replicated
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	tbl := lookup.NewHashIndex()
+	home := func(k int64) []int {
+		if k < int64(singles) {
+			return []int{int(k) % n}
+		}
+		return all
+	}
+	for k := 0; k < total; k++ {
+		tbl.Set(int64(k), home(int64(k)))
+	}
+	strat := &partition.Lookup{
+		K:         n,
+		Tables:    map[string]lookup.Table{"account": tbl},
+		KeyColumn: map[string]string{"account": "id"},
+	}
+	schema := func() *storage.TableSchema {
+		return &storage.TableSchema{
+			Name: "account",
+			Columns: []storage.Column{
+				{Name: "id", Type: storage.IntCol},
+				{Name: "bal", Type: storage.IntCol},
+			},
+			Key: "id",
+		}
+	}
+	c := New(Config{Nodes: n, LockTimeout: 2 * time.Second}, func(node int) *storage.Database {
+		db := storage.NewDatabase()
+		tb := db.MustCreateTable(schema())
+		for k := 0; k < total; k++ {
+			if !containsInt(home(int64(k)), node) {
+				continue
+			}
+			if err := tb.Insert(storage.Row{datum.NewInt(int64(k)), datum.NewInt(1000)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	})
+	return c, NewCoordinator(c, strat)
+}
+
+func containsInt(set []int, p int) bool {
+	for _, q := range set {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPickReplicaPrefersTouchedNode pins the §5.4 replica-read rule: once
+// a transaction has touched a node, reads of replicated tuples are served
+// from that node rather than fanning the transaction out further.
+func TestPickReplicaPrefersTouchedNode(t *testing.T) {
+	c, co := newReplicatedCluster(t, 4, 8, 4)
+	defer c.Close()
+	for key := int64(0); key < 8; key++ {
+		tx := co.Begin()
+		// Touch the single-homed key's node first.
+		if _, err := tx.Exec(fmt.Sprintf("SELECT * FROM account WHERE id = %d", key)); err != nil {
+			t.Fatal(err)
+		}
+		if tx.Touched() != 1 {
+			t.Fatalf("touched %d nodes after keyed read", tx.Touched())
+		}
+		// Replicated reads must stay on the already-touched node — for any
+		// txn, so the preference cannot be a lucky random pick.
+		for rep := int64(8); rep < 12; rep++ {
+			if _, err := tx.Exec(fmt.Sprintf("SELECT * FROM account WHERE id = %d", rep)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tx.Touched() != 1 {
+			t.Fatalf("replicated reads left home: touched %d nodes", tx.Touched())
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReadAnywhereWriteAll checks replicated-tuple correctness: a write
+// must reach every replica (and count as distributed), and any replica
+// then serves the new value.
+func TestReadAnywhereWriteAll(t *testing.T) {
+	const n = 3
+	c, co := newReplicatedCluster(t, n, 3, 3)
+	defer c.Close()
+	dist, _, err := co.RunTxn(func(tx *Txn) error {
+		_, err := tx.Exec("UPDATE account SET bal = 5 WHERE id = 4")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist {
+		t.Fatal("write-all to a replicated tuple should be distributed")
+	}
+	// Every node's local copy carries the write.
+	for node := 0; node < n; node++ {
+		row, ok := c.Node(node).DB().Table("account").Get(4)
+		if !ok || row[1].I != 5 {
+			t.Fatalf("node %d replica = %v (ok=%v), want bal 5", node, row, ok)
+		}
+	}
+	// A single replicated read is served by exactly one node.
+	tx := co.Begin()
+	defer tx.Abort()
+	rows, err := tx.Exec("SELECT * FROM account WHERE id = 4")
+	if err != nil || len(rows) != 1 || rows[0][1].I != 5 {
+		t.Fatalf("replicated read: rows=%v err=%v", rows, err)
+	}
+	if tx.Touched() != 1 {
+		t.Fatalf("replicated read touched %d nodes, want 1", tx.Touched())
+	}
+}
+
+// TestCaptureHookRecordsAccessSets checks the live-capture path: committed
+// transactions deliver their ground-truth read/write sets (matched rows,
+// write flags, single delivery per commit), and aborted transactions
+// deliver nothing.
+func TestCaptureHookRecordsAccessSets(t *testing.T) {
+	c, co := newReplicatedCluster(t, 2, 4, 0)
+	defer c.Close()
+	var got [][]workload.Access
+	co.SetCapture(func(accs []workload.Access) {
+		cp := append([]workload.Access(nil), accs...)
+		got = append(got, cp)
+	})
+
+	_, _, err := co.RunTxn(func(tx *Txn) error {
+		if _, err := tx.Exec("SELECT * FROM account WHERE id = 1"); err != nil {
+			return err
+		}
+		_, err := tx.Exec("UPDATE account SET bal = bal - 1 WHERE id = 2")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aborted := co.Begin()
+	if _, err := aborted.Exec("SELECT * FROM account WHERE id = 3"); err != nil {
+		t.Fatal(err)
+	}
+	aborted.Abort()
+
+	co.SetCapture(nil)
+	if len(got) != 1 {
+		t.Fatalf("captured %d transactions, want 1", len(got))
+	}
+	var rendered []string
+	for _, a := range got[0] {
+		rendered = append(rendered, fmt.Sprintf("%s:%v", a.Tuple, a.Write))
+	}
+	sort.Strings(rendered)
+	want := []string{"account:1:false", "account:2:true"}
+	if fmt.Sprint(rendered) != fmt.Sprint(want) {
+		t.Fatalf("captured %v, want %v", rendered, want)
+	}
+}
+
+// TestCaptureOffHasNoKeys ensures the zero-overhead path: without a hook
+// installed, responses carry no captured keys.
+func TestCaptureOffHasNoKeys(t *testing.T) {
+	c, co := newReplicatedCluster(t, 1, 2, 0)
+	defer c.Close()
+	tx := co.Begin()
+	defer tx.Abort()
+	if _, err := tx.Exec("SELECT * FROM account WHERE id = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.accs) != 0 {
+		t.Fatalf("accs = %v, want none with capture off", tx.accs)
+	}
+}

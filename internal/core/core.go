@@ -43,6 +43,14 @@ type Input struct {
 	// table are then guaranteed to be NEW tuples, which float to their
 	// transaction's home partition.
 	DB *storage.Database
+	// Prior, when set, is an already-deployed per-tuple assignment the new
+	// partitioning should disturb as little as possible: after min-cut
+	// partitioning, the fresh partition labels are permuted by a greedy
+	// max-weight matching against Prior (partition.RelabelMap), so a
+	// redeployment moves the fewest tuples. Result.PriorDiff reports the
+	// implied movement (and PriorNaiveDiff what it would have been without
+	// relabeling).
+	Prior map[workload.TupleID][]int
 }
 
 // Options tune the pipeline phases.
@@ -130,6 +138,11 @@ type Result struct {
 	// the style of §5.2.
 	RuleStrings map[string][]string
 
+	// PriorDiff and PriorNaiveDiff compare the (relabeled, resp. raw)
+	// partitioning against Input.Prior; zero-valued when Prior is unset.
+	PriorDiff      partition.Diff
+	PriorNaiveDiff partition.Diff
+
 	// Costs maps strategy name -> measured cost on the test trace.
 	// Keys: "lookup-table", "range-predicates", "hashing", "replication".
 	Costs map[string]partition.Cost
@@ -189,9 +202,23 @@ func Run(in Input, opts Options) (*Result, error) {
 	}
 	res.Timings.Partition = time.Since(t0)
 	res.EdgeCut = cut
-	res.PartWeight = g.CSR.PartWeights(parts, k)
-	dense := g.DenseAssignments(parts)
 	tuples := g.Intern.Tuples()
+	dense := g.DenseAssignments(parts)
+	if in.Prior != nil {
+		// Incremental mode: rename the fresh labels to disturb the
+		// deployed assignment minimally (a pure permutation; the cut and
+		// balance are untouched).
+		oldSets := make([][]int, len(tuples))
+		for d, id := range tuples {
+			oldSets[d] = in.Prior[id]
+		}
+		res.PriorNaiveDiff = partition.AssignmentDiff(oldSets, dense, k)
+		perm := partition.RelabelMap(oldSets, dense, k)
+		partition.ApplyRelabel(parts, perm)
+		dense = g.DenseAssignments(parts)
+		res.PriorDiff = partition.AssignmentDiff(oldSets, dense, k)
+	}
+	res.PartWeight = g.CSR.PartWeights(parts, k)
 	res.Assignments = make(map[workload.TupleID][]int, len(dense))
 	for d, set := range dense {
 		res.Assignments[tuples[d]] = set

@@ -240,3 +240,33 @@ func TestDisableReplicationAblation(t *testing.T) {
 		}
 	}
 }
+
+// TestPriorAssignmentMinimisesMovement: rerunning the pipeline on a
+// similar workload with the previous assignment as Prior must relabel the
+// fresh partitioning so that far fewer tuples move than under the
+// partitioner's raw labels, without changing the achieved quality.
+func TestPriorAssignmentMinimisesMovement(t *testing.T) {
+	w := workloads.TPCC(workloads.TPCCConfig{
+		Warehouses: 4, Customers: 20, Items: 120, InitialOrders: 8, Txns: cut(3000, 1500), Seed: 9,
+	})
+	first := runPipeline(t, w, 4, Options{Seed: 7})
+
+	rerun, err := Run(Input{
+		Trace:      w.Trace,
+		Resolver:   w.Resolver(),
+		KeyColumns: w.KeyColumns,
+		DB:         w.DB,
+		Prior:      first.Assignments,
+	}, Options{Partitions: 4, Seed: 8}) // new seed: labels come out shuffled
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.PriorDiff.Total == 0 {
+		t.Fatal("prior diff not computed")
+	}
+	if rerun.PriorDiff.Moved > rerun.PriorNaiveDiff.Moved/2 {
+		t.Fatalf("relabeling saved too little: moved %d vs naive %d",
+			rerun.PriorDiff.Moved, rerun.PriorNaiveDiff.Moved)
+	}
+	t.Logf("prior moved=%d naive=%d total=%d", rerun.PriorDiff.Moved, rerun.PriorNaiveDiff.Moved, rerun.PriorDiff.Total)
+}

@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"schism/internal/cluster"
+	"schism/internal/graph"
+	"schism/internal/live"
+	"schism/internal/metis"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+	"schism/internal/workloads"
+)
+
+// The drift experiments exercise the internal/live control loop end to
+// end on two workload shifts the paper's offline pipeline cannot follow:
+//
+//   - YCSB hotspot shift: transactions co-access small key groups; at the
+//     shift the group structure re-pairs keys across the old partition
+//     boundaries, so the deployed placement suddenly distributes most
+//     transactions;
+//   - TPC-C warehouse-skew rotation: the hot warehouse moves, leaving the
+//     deployed placement badly load-imbalanced while its
+//     distributed-transaction rate stays flat.
+//
+// Each scenario runs twice: a deterministic trace-driven simulation of
+// the control loop (capture → detect → repartition → relabel), and a live
+// cluster run where the migration executor moves tuples through the nodes
+// while closed-loop traffic continues.
+
+// driftScenario bundles everything both drivers need.
+type driftScenario struct {
+	name     string
+	k        int
+	gopts    graph.Options
+	mopts    metis.Options
+	window   live.WindowConfig
+	detector live.DetectorConfig
+	check    int // Tick / background check cadence in transactions
+	// Cluster-mode overrides: commit rates under real locking are far
+	// lower than trace feed rates, so the background loop checks (and
+	// accepts) smaller windows. Zero means "same as the sim values".
+	clusterDetector live.DetectorConfig
+	clusterCheck    int
+
+	db         *storage.Database
+	keyCols    map[string]string
+	initialTr  *workload.Trace // pre-shift trace (initial deployment + baseline)
+	shiftedTr  *workload.Trace // post-shift trace (drift feed + offline comparator)
+	txnBefore  cluster.TxnFunc
+	txnAfter   cluster.TxnFunc
+	clients    int
+	duration   time.Duration
+	networkLat time.Duration
+}
+
+// DriftSim is the deterministic control-loop outcome.
+type DriftSim struct {
+	Scenario string
+	// Baseline, Trigger and After score the deployment on the live window
+	// before the shift, at the moment the detector fired, and right after
+	// adaptation.
+	Baseline, Trigger, After live.Score
+	// LiveDist / OfflineDist evaluate the adapted deployment and a
+	// from-scratch offline rerun on the pure post-shift trace.
+	LiveDist, OfflineDist float64
+	// MovedRelabel / MovedNaive count the tuples the migration would move
+	// with and without minimal-movement relabeling.
+	MovedRelabel, MovedNaive int
+	Adaptations              int
+}
+
+// DriftPhaseStats is one cluster load phase.
+type DriftPhaseStats struct {
+	Name string
+	cluster.Stats
+}
+
+// DriftCluster is the live cluster outcome.
+type DriftCluster struct {
+	Scenario    string
+	Phases      []DriftPhaseStats // before / during / after the shift
+	Migration   live.MigrationStats
+	Adaptations int
+	// Baseline and Final score the deployment against the capture window
+	// at baseline time and at the end of the run.
+	Baseline, Final live.Score
+}
+
+// DriftResult combines both drivers for one scenario.
+type DriftResult struct {
+	Sim     DriftSim
+	Cluster DriftCluster
+}
+
+// --- scenario construction ---
+
+func ycsbDriftScenario(s Scale) driftScenario {
+	cfgA := workloads.YCSBGroupsConfig{
+		Rows: s.scaled(8000, 1600), GroupSize: 4,
+		Txns: s.scaled(6000, 2000), Phase: 0, Seed: 1,
+	}
+	cfgB := cfgA
+	cfgB.Phase, cfgB.Seed = 1, 2
+	phaseA := workloads.YCSBGroups(cfgA)
+	phaseB := workloads.YCSBGroups(cfgB)
+	return driftScenario{
+		name:   "YCSB hotspot shift",
+		k:      4,
+		gopts:  graph.Options{Coalesce: true, Seed: 7},
+		mopts:  metis.Options{Seed: 7},
+		window: live.WindowConfig{Capacity: s.scaled(4000, 1500)},
+		detector: live.DetectorConfig{
+			MinWindow: 500, DistributedFloor: 0.05,
+			DegradeFactor: 1.5, ImbalanceTrigger: -1,
+		},
+		check:      s.scaled(1000, 250),
+		db:         phaseA.DB,
+		keyCols:    phaseA.KeyColumns,
+		initialTr:  phaseA.Trace,
+		shiftedTr:  phaseB.Trace,
+		txnBefore:  workloads.YCSBGroupsTxn(cfgA),
+		txnAfter:   workloads.YCSBGroupsTxn(cfgB),
+		clients:    8,
+		duration:   time.Duration(s.scaled(900, 300)) * time.Millisecond,
+		networkLat: 20 * time.Microsecond,
+	}
+}
+
+func tpccDriftScenario(s Scale) driftScenario {
+	base := workloads.TPCCConfig{
+		Warehouses: 8, Customers: s.scaled(30, 15), Items: s.scaled(200, 100),
+		InitialOrders: s.scaled(10, 6), Txns: s.scaled(8000, 2500), Seed: 3,
+	}
+	cfgA := base
+	cfgA.PickWarehouse = workloads.HotWarehousePicker(1, 0.3)
+	cfgB := base
+	cfgB.Seed = 4
+	cfgB.PickWarehouse = workloads.HotWarehousePicker(5, 0.3)
+	phaseA := workloads.TPCC(cfgA)
+	phaseB := workloads.TPCC(cfgB)
+	return driftScenario{
+		name:   "TPC-C warehouse-skew rotation",
+		k:      4,
+		gopts:  graph.Options{Coalesce: true, Replication: true, Seed: 7},
+		mopts:  metis.Options{Seed: 7},
+		window: live.WindowConfig{Capacity: s.scaled(4000, 2000)},
+		detector: live.DetectorConfig{
+			MinWindow: 800, DistributedFloor: 0.05,
+			DegradeFactor: 2.5, ImbalanceTrigger: 1.5,
+		},
+		check:     s.scaled(1000, 500),
+		db:        phaseA.DB,
+		keyCols:   phaseA.KeyColumns,
+		initialTr: phaseA.Trace,
+		shiftedTr: phaseB.Trace,
+		clusterDetector: live.DetectorConfig{
+			// Closed-loop contention self-throttles the hot warehouse, so
+			// the committed stream shows a flatter skew than the offered
+			// load; trigger earlier than the trace-driven sim.
+			MinWindow: 250, DistributedFloor: 0.05,
+			DegradeFactor: 2.5, ImbalanceTrigger: 1.35,
+		},
+		clusterCheck: 100,
+		txnBefore:    workloads.TPCCKeyedTxn(cfgA),
+		txnAfter:     workloads.TPCCKeyedTxn(cfgB),
+		clients:      4,
+		duration:     time.Duration(s.scaled(900, 400)) * time.Millisecond,
+		networkLat:   0, // statement-heavy mix: sleep granularity would dwarf real delays
+
+	}
+}
+
+// scenarioByName resolves "ycsb" / "tpcc".
+func scenarioByName(name string, s Scale) (driftScenario, error) {
+	switch name {
+	case "ycsb":
+		return ycsbDriftScenario(s), nil
+	case "tpcc":
+		return tpccDriftScenario(s), nil
+	}
+	return driftScenario{}, fmt.Errorf("unknown drift scenario %q (want ycsb|tpcc)", name)
+}
+
+// asDeployed scores a repartitioning exactly as DeployLookup would deploy
+// it, so the offline comparator and the live deployment are judged under
+// identical unknown-tuple policies: tuples present in db get the
+// computed assignment (key-hash when the rerun never saw them), tuples
+// born after the db image (trace INSERTs) float with their transactions
+// — just like the live side's Floating lookup.
+func asDeployed(db *storage.Database, f live.LocateFunc, k int) live.LocateFunc {
+	return func(id workload.TupleID) []int {
+		tbl := db.Table(id.Table)
+		if tbl == nil {
+			return nil
+		}
+		if _, ok := tbl.Get(id.Key); !ok {
+			return nil // insert-born: floats, on both sides
+		}
+		if parts := f(id); parts != nil {
+			return parts
+		}
+		return []int{partition.HashPart(id.Key, k)}
+	}
+}
+
+// DriftSimRun runs the deterministic control-loop simulation of a
+// scenario ("ycsb" or "tpcc"): the pre-shift trace establishes the
+// deployment and baseline, the post-shift trace streams through the
+// capture window until the detector fires and the loop adapts.
+func DriftSimRun(name string, s Scale) (DriftSim, error) {
+	sc, err := scenarioByName(name, s)
+	if err != nil {
+		return DriftSim{}, err
+	}
+	rep := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts})
+	initial, err := rep.Repartition(sc.initialTr, nil)
+	if err != nil {
+		return DriftSim{}, err
+	}
+	_, tables := live.DeployLookup(sc.db, sc.k, sc.keyCols, initial.LocateFunc())
+	ctrl := live.NewController(live.Config{
+		K: sc.k, Window: sc.window, Detector: sc.detector,
+		Repartition: live.RepartitionConfig{Graph: sc.gopts, Metis: sc.mopts},
+	}, tables, nil)
+
+	feed := func(tr *workload.Trace) error {
+		for i, tx := range tr.Txns {
+			ctrl.Record(tx.Accesses)
+			if (i+1)%sc.check == 0 {
+				if _, err := ctrl.Tick(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := feed(sc.initialTr); err != nil {
+		return DriftSim{}, err
+	}
+	baseline, _ := ctrl.Baseline()
+	if err := feed(sc.shiftedTr); err != nil {
+		return DriftSim{}, err
+	}
+
+	out := DriftSim{Scenario: sc.name, Baseline: baseline}
+	ads := ctrl.Adaptations()
+	out.Adaptations = len(ads)
+	if len(ads) > 0 {
+		out.Trigger, out.After = ads[0].Before, ads[0].After
+		out.MovedRelabel, out.MovedNaive = ads[0].Diff.Moved, ads[0].NaiveDiff.Moved
+	}
+
+	offline, err := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts}).
+		Repartition(sc.shiftedTr, nil)
+	if err != nil {
+		return DriftSim{}, err
+	}
+	out.LiveDist = live.ScoreWindow(sc.shiftedTr, sc.k, ctrl.Locate).Distributed
+	out.OfflineDist = live.ScoreWindow(sc.shiftedTr, sc.k, asDeployed(sc.db, offline.LocateFunc(), sc.k)).Distributed
+	return out, nil
+}
+
+// DriftClusterRun runs the live cluster version: nodes populated per the
+// initial deployment, closed-loop clients, capture hook feeding the
+// background controller, and the migration executor physically moving
+// tuples between phases while traffic continues.
+func DriftClusterRun(name string, s Scale) (DriftCluster, error) {
+	sc, err := scenarioByName(name, s)
+	if err != nil {
+		return DriftCluster{}, err
+	}
+	return runDriftClusterScenario(sc)
+}
+
+// runDriftClusterScenario is the scenario-parameterised cluster driver.
+func runDriftClusterScenario(sc driftScenario) (DriftCluster, error) {
+	rep := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts})
+	initial, err := rep.Repartition(sc.initialTr, nil)
+	if err != nil {
+		return DriftCluster{}, err
+	}
+	deployed, tables := live.DeployLookup(sc.db, sc.k, sc.keyCols, initial.LocateFunc())
+
+	schemas := make(map[string]*storage.TableSchema, len(sc.db.TableNames()))
+	for _, tn := range sc.db.TableNames() {
+		schemas[tn] = sc.db.Table(tn).Schema
+	}
+	c := cluster.New(cluster.Config{
+		Nodes: sc.k, WorkersPerNode: 4,
+		ServiceTime: 2 * time.Microsecond, NetworkDelay: sc.networkLat,
+		LockTimeout: 2 * time.Second,
+	}, func(node int) *storage.Database {
+		db := storage.NewDatabase()
+		for _, tn := range sc.db.TableNames() {
+			schema := *schemas[tn]
+			tbl := db.MustCreateTable(&schema)
+			sc.db.Table(tn).ScanAll(func(key int64, row storage.Row) bool {
+				if parts, ok := tables[tn].Locate(key); ok && slices.Contains(parts, node) {
+					if err := tbl.Insert(row.Clone()); err != nil {
+						panic(err)
+					}
+				}
+				return true
+			})
+		}
+		return db
+	})
+	defer c.Close()
+	co := cluster.NewCoordinator(c, deployed)
+	exec := live.NewExecutor(co, schemas, tables)
+	det, check := sc.detector, sc.check
+	if sc.clusterDetector != (live.DetectorConfig{}) {
+		det = sc.clusterDetector
+	}
+	if sc.clusterCheck > 0 {
+		check = sc.clusterCheck
+	}
+	ctrl := live.NewController(live.Config{
+		K: sc.k, Window: sc.window, Detector: det, CheckEvery: check,
+		Repartition: live.RepartitionConfig{Graph: sc.gopts, Metis: sc.mopts},
+	}, tables, exec)
+	ctrl.Start()
+	co.SetCapture(ctrl.Record)
+
+	out := DriftCluster{Scenario: sc.name}
+	run := func(phase string, fn cluster.TxnFunc, seed int64) {
+		st := cluster.RunLoad(co, sc.clients, sc.duration, seed, fn)
+		out.Phases = append(out.Phases, DriftPhaseStats{Name: phase, Stats: st})
+	}
+	run("before", sc.txnBefore, 11)
+	run("during", sc.txnAfter, 12) // the shift: adaptation fires mid-phase
+	run("after", sc.txnAfter, 13)
+
+	co.SetCapture(nil)
+	ctrl.Stop()
+	out.Final = ctrl.Score()
+	out.Baseline, _ = ctrl.Baseline()
+	for _, ad := range ctrl.Adaptations() {
+		out.Adaptations++
+		out.Migration.Moved += ad.Migration.Moved
+		out.Migration.Skipped += ad.Migration.Skipped
+		out.Migration.Batches += ad.Migration.Batches
+		out.Migration.FailedBatches += ad.Migration.FailedBatches
+		out.Migration.Aborts += ad.Migration.Aborts
+		out.Migration.Elapsed += ad.Migration.Elapsed
+	}
+	return out, nil
+}
+
+// Drift runs both drivers for one scenario.
+func Drift(name string, s Scale) (DriftResult, error) {
+	sim, err := DriftSimRun(name, s)
+	if err != nil {
+		return DriftResult{}, err
+	}
+	cl, err := DriftClusterRun(name, s)
+	if err != nil {
+		return DriftResult{}, err
+	}
+	return DriftResult{Sim: sim, Cluster: cl}, nil
+}
+
+// PrintDrift renders one scenario's results.
+func PrintDrift(w io.Writer, r DriftResult) {
+	fmt.Fprintf(w, "Drift scenario: %s\n", r.Sim.Scenario)
+	fmt.Fprintf(w, "control loop (deterministic):\n")
+	fmt.Fprintf(w, "  baseline   %v\n", r.Sim.Baseline)
+	if r.Sim.Adaptations == 0 {
+		fmt.Fprintf(w, "  no adaptation triggered\n")
+	} else {
+		fmt.Fprintf(w, "  trigger    %v\n", r.Sim.Trigger)
+		fmt.Fprintf(w, "  adapted    %v\n", r.Sim.After)
+		fmt.Fprintf(w, "  post-shift %%distributed: live %.1f%% vs offline-from-scratch %.1f%%\n",
+			100*r.Sim.LiveDist, 100*r.Sim.OfflineDist)
+		fmt.Fprintf(w, "  movement: %d tuples relabeled vs %d naive (%.0f%% saved)\n",
+			r.Sim.MovedRelabel, r.Sim.MovedNaive, 100*(1-movedRatio(r.Sim)))
+	}
+	if len(r.Cluster.Phases) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "cluster (live traffic):\n")
+	var rows [][]string
+	for _, p := range r.Cluster.Phases {
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%.0f", p.Throughput()),
+			pct(p.DistributedFrac()),
+			fmt.Sprintf("%d", p.Aborts),
+		})
+	}
+	table(w, []string{"phase", "tps", "%distributed", "aborts"}, rows)
+	fmt.Fprintf(w, "  window: baseline %v -> final %v\n", r.Cluster.Baseline, r.Cluster.Final)
+	fmt.Fprintf(w, "  adaptations=%d migration: %v\n", r.Cluster.Adaptations, r.Cluster.Migration)
+}
+
+func movedRatio(s DriftSim) float64 {
+	if s.MovedNaive == 0 {
+		return 1
+	}
+	return float64(s.MovedRelabel) / float64(s.MovedNaive)
+}

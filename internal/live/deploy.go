@@ -1,0 +1,37 @@
+package live
+
+import (
+	"schism/internal/lookup"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// DeployLookup builds the mutable routing state the live loop adapts: a
+// per-tuple lookup strategy covering every existing tuple of db, placed
+// by locate (nil replica sets fall back to key-hash placement so every
+// existing tuple gets a definite home). The returned tables are the
+// SyncTables behind the strategy — the migration executor flips their
+// entries as tuples move. The strategy is Floating: keys born after
+// deployment follow their transactions until a later repartition places
+// them.
+func DeployLookup(db *storage.Database, k int, keyCols map[string]string, locate LocateFunc) (*partition.Lookup, map[string]*SyncTable) {
+	tables := make(map[string]lookup.Table)
+	sync := make(map[string]*SyncTable)
+	for _, name := range db.TableNames() {
+		st := NewSyncTable(lookup.NewHashIndex())
+		sync[name] = st
+		tables[name] = st
+		db.Table(name).ScanAll(func(key int64, _ storage.Row) bool {
+			id := workload.TupleID{Table: name, Key: key}
+			parts := locate(id)
+			if len(parts) == 0 {
+				// The hash fallback partition.Lookup itself would apply.
+				parts = []int{partition.HashPart(key, k)}
+			}
+			st.Set(key, parts)
+			return true
+		})
+	}
+	return &partition.Lookup{K: k, Tables: tables, Floating: true, KeyColumn: keyCols}, sync
+}

@@ -1,0 +1,105 @@
+package live
+
+import (
+	"schism/internal/graph"
+	"schism/internal/metis"
+	"schism/internal/partition"
+	"schism/internal/workload"
+)
+
+// RepartitionConfig tunes the incremental repartitioner.
+type RepartitionConfig struct {
+	// K is the number of partitions (required).
+	K int
+	// Graph configures workload-graph construction over the window.
+	Graph graph.Options
+	// Metis configures the partitioner.
+	Metis metis.Options
+	// NaiveLabels disables the minimal-movement relabeling (ablation: use
+	// the partitioner's raw labels).
+	NaiveLabels bool
+}
+
+// Repartition is the outcome of one incremental repartitioning run.
+type Repartition struct {
+	// Graph is the workload graph built from the window.
+	Graph *graph.Graph
+	// EdgeCut is the achieved min-cut.
+	EdgeCut int64
+	// Tuples and Assignments give the new placement: Assignments[i] is the
+	// (relabeled) replica set of Tuples[i].
+	Tuples      []workload.TupleID
+	Assignments [][]int
+	// Perm is the applied new→old label permutation (identity under
+	// NaiveLabels).
+	Perm []int
+	// Diff compares the deployed placement with the relabeled one — the
+	// migration this run implies. NaiveDiff is the same comparison without
+	// relabeling; the gap is the movement the relabeler saved.
+	Diff      partition.Diff
+	NaiveDiff partition.Diff
+}
+
+// Repartitioner reruns the graph + min-cut pipeline over live windows. It
+// holds one metis.Solver so steady-state repartitioning reuses all
+// partitioner scratch. Not safe for concurrent use; the Controller
+// serialises calls.
+type Repartitioner struct {
+	cfg    RepartitionConfig
+	solver *metis.Solver
+}
+
+// NewRepartitioner returns a repartitioner for the given configuration.
+func NewRepartitioner(cfg RepartitionConfig) *Repartitioner {
+	return &Repartitioner{cfg: cfg, solver: metis.NewSolver()}
+}
+
+// Repartition builds the workload graph for a window snapshot, min-cut
+// partitions it, and relabels the result against the deployed placement
+// (locate; may be nil when there is none) so that the fewest tuples move.
+func (r *Repartitioner) Repartition(tr *workload.Trace, locate LocateFunc) (*Repartition, error) {
+	g := graph.Build(tr, r.cfg.Graph)
+	parts, cut, err := r.solver.PartKway(g.CSR, r.cfg.K, r.cfg.Metis)
+	if err != nil {
+		return nil, err
+	}
+	res := &Repartition{Graph: g, EdgeCut: cut, Tuples: g.Intern.Tuples()}
+
+	newSets := g.DenseAssignments(parts)
+	oldSets := make([][]int, len(res.Tuples))
+	if locate != nil {
+		for d, id := range res.Tuples {
+			oldSets[d] = locate(id)
+		}
+	}
+	res.NaiveDiff = partition.AssignmentDiff(oldSets, newSets, r.cfg.K)
+
+	perm := identityPerm(r.cfg.K)
+	if !r.cfg.NaiveLabels && locate != nil {
+		perm = partition.RelabelMap(oldSets, newSets, r.cfg.K)
+		partition.ApplyRelabel(parts, perm)
+		newSets = g.DenseAssignments(parts)
+	}
+	res.Perm = perm
+	res.Assignments = newSets
+	res.Diff = partition.AssignmentDiff(oldSets, newSets, r.cfg.K)
+	return res, nil
+}
+
+// LocateFunc exposes the repartitioning as a placement function: the
+// relabeled replica set for tuples it covers, nil for anything else.
+func (r *Repartition) LocateFunc() LocateFunc {
+	m := make(map[workload.TupleID][]int, len(r.Tuples))
+	for i, id := range r.Tuples {
+		m[id] = r.Assignments[i]
+	}
+	return func(id workload.TupleID) []int { return m[id] }
+}
+
+func identityPerm(k int) []int {
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
+}

@@ -388,7 +388,7 @@ func (l *Lookup) Locate(id workload.TupleID, row Row) []int {
 	if l.Default != nil {
 		return l.Default
 	}
-	return []int{int(datum.Hash(datum.NewInt(id.Key)) % uint64(l.K))}
+	return []int{HashPart(id.Key, l.K)}
 }
 
 // RouteStmt implements Strategy: equality constraints on the key column
@@ -422,7 +422,7 @@ func (l *Lookup) RouteStmt(table string, cons []sqlparse.Constraint, routable bo
 				if l.Default != nil {
 					parts = l.Default
 				} else {
-					parts = []int{int(datum.Hash(datum.NewInt(k)) % uint64(l.K))}
+					parts = []int{HashPart(k, l.K)}
 				}
 			}
 			known++
@@ -448,6 +448,14 @@ func (l *Lookup) RouteStmt(table string, cons []sqlparse.Constraint, routable bo
 		return Route{Single: keys(inter), All: keys(union)}
 	}
 	return broadcast(l.K)
+}
+
+// HashPart is the canonical key-hash fallback placement: the partition a
+// tuple lands on when no finer policy covers it. Every layer that
+// precomputes or mimics Lookup's fallback (live deployment, experiment
+// scoring) must use this same function.
+func HashPart(key int64, k int) int {
+	return int(datum.Hash(datum.NewInt(key)) % uint64(k))
 }
 
 func broadcast(k int) Route { return Route{All: allParts(k)} }

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"math/rand"
 
 	"schism/internal/datum"
 	"schism/internal/partition"
@@ -26,6 +27,33 @@ type TPCCConfig struct {
 	// Txns is the trace length.
 	Txns int
 	Seed int64
+	// PickWarehouse, when set, overrides the uniform home-warehouse draw
+	// (1-based result in [1, warehouses]). The drift experiments use it to
+	// rotate a warehouse hotspot; remote-warehouse choices stay uniform.
+	PickWarehouse func(rng *rand.Rand, warehouses int) int
+}
+
+// pickW draws a transaction's home warehouse.
+func (c TPCCConfig) pickW(rng *rand.Rand) int {
+	if c.PickWarehouse != nil {
+		w := c.PickWarehouse(rng, c.Warehouses)
+		if w >= 1 && w <= c.Warehouses {
+			return w
+		}
+	}
+	return 1 + rng.Intn(c.Warehouses)
+}
+
+// HotWarehousePicker returns a PickWarehouse that sends frac of
+// transactions to the hot warehouse (1-based) and the rest uniformly
+// across all warehouses.
+func HotWarehousePicker(hot int, frac float64) func(rng *rand.Rand, warehouses int) int {
+	return func(rng *rand.Rand, warehouses int) int {
+		if rng.Float64() < frac {
+			return 1 + (hot-1)%warehouses
+		}
+		return 1 + rng.Intn(warehouses)
+	}
 }
 
 func (c TPCCConfig) withDefaults() TPCCConfig {

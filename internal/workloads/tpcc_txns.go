@@ -135,7 +135,7 @@ func tup(table string, key int64, write bool) workload.Access {
 func (st *tpccState) newOrderTrace(rng *rand.Rand) ([]workload.Access, []string) {
 	cfg := st.cfg
 	k := st.keys
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	c := 1 + rng.Intn(cfg.Customers)
 	dk := k.district(w, d)
@@ -190,7 +190,7 @@ func (st *tpccState) newOrderTrace(rng *rand.Rand) ([]workload.Access, []string)
 func (st *tpccState) paymentTrace(rng *rand.Rand) ([]workload.Access, []string) {
 	cfg := st.cfg
 	k := st.keys
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	c := 1 + rng.Intn(cfg.Customers)
 	cw := w
@@ -216,7 +216,7 @@ func (st *tpccState) paymentTrace(rng *rand.Rand) ([]workload.Access, []string) 
 func (st *tpccState) orderStatusTrace(rng *rand.Rand) ([]workload.Access, []string) {
 	cfg := st.cfg
 	k := st.keys
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	dk := k.district(w, d)
 	rec := st.recent[dk]
@@ -247,7 +247,7 @@ func (st *tpccState) orderStatusTrace(rng *rand.Rand) ([]workload.Access, []stri
 func (st *tpccState) deliveryTrace(rng *rand.Rand) ([]workload.Access, []string) {
 	cfg := st.cfg
 	k := st.keys
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	var acc []workload.Access
 	var sql []string
 	for d := 1; d <= cfg.Districts; d++ {
@@ -285,7 +285,7 @@ func (st *tpccState) deliveryTrace(rng *rand.Rand) ([]workload.Access, []string)
 func (st *tpccState) stockLevelTrace(rng *rand.Rand) ([]workload.Access, []string) {
 	cfg := st.cfg
 	k := st.keys
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	dk := k.district(w, d)
 	acc := []workload.Access{tup("district", dk, false)}
@@ -353,7 +353,7 @@ func TPCCNewOrderPaymentTxn(cfg TPCCConfig) cluster.TxnFunc {
 }
 
 func runtimeNewOrder(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) error {
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	c := 1 + rng.Intn(cfg.Customers)
 	if _, err := t.Exec(fmt.Sprintf("SELECT * FROM warehouse WHERE w_id = %d", w)); err != nil {
@@ -403,7 +403,7 @@ func runtimeNewOrder(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys)
 }
 
 func runtimePayment(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) error {
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	c := 1 + rng.Intn(cfg.Customers)
 	cw := w
@@ -425,7 +425,7 @@ func runtimePayment(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) 
 }
 
 func runtimeOrderStatus(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) error {
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	c := 1 + rng.Intn(cfg.Customers)
 	if _, err := t.Exec(fmt.Sprintf("SELECT * FROM customer WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d", w, d, c)); err != nil {
@@ -443,7 +443,7 @@ func runtimeOrderStatus(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKe
 }
 
 func runtimeDelivery(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) error {
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	for d := 1; d <= cfg.Districts; d++ {
 		dk := k.district(w, d)
 		lo, hi := dk*tpccOrderSpace, (dk+1)*tpccOrderSpace-1
@@ -482,7 +482,7 @@ func runtimeDelivery(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys)
 }
 
 func runtimeStockLevel(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) error {
-	w := 1 + rng.Intn(cfg.Warehouses)
+	w := cfg.pickW(rng)
 	d := 1 + rng.Intn(cfg.Districts)
 	rows, err := t.Exec(fmt.Sprintf("SELECT d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d", w, d))
 	if err != nil || len(rows) == 0 {
@@ -517,4 +517,94 @@ func runtimeStockLevel(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKey
 		}
 	}
 	return nil
+}
+
+// TPCCKeyedTxn returns a NewOrder/Payment mix whose statements constrain
+// the surrogate primary keys (d_key, c_key, s_key, ...) instead of the
+// (w_id, d_id, ...) pairs, so a per-tuple lookup-table strategy — the
+// deployment the live repartitioning loop manages — can route every
+// statement exactly. The access pattern (hot district/warehouse rows,
+// remote customers) is unchanged.
+func TPCCKeyedTxn(cfg TPCCConfig) cluster.TxnFunc {
+	cfg = cfg.withDefaults()
+	k := tpccKeys{cfg}
+	return func(t *cluster.Txn, rng *rand.Rand) error {
+		if rng.Intn(100) < 51 {
+			return keyedNewOrder(t, rng, cfg, k)
+		}
+		return keyedPayment(t, rng, cfg, k)
+	}
+}
+
+func keyedNewOrder(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) error {
+	w := cfg.pickW(rng)
+	d := 1 + rng.Intn(cfg.Districts)
+	c := 1 + rng.Intn(cfg.Customers)
+	dk := k.district(w, d)
+	if _, err := t.Exec(fmt.Sprintf("SELECT * FROM warehouse WHERE w_id = %d", w)); err != nil {
+		return err
+	}
+	if _, err := t.Exec(fmt.Sprintf("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_key = %d", dk)); err != nil {
+		return err
+	}
+	rows, err := t.Exec(fmt.Sprintf("SELECT d_next_o_id FROM district WHERE d_key = %d", dk))
+	if err != nil {
+		return err
+	}
+	if len(rows) != 1 {
+		return fmt.Errorf("tpcc: district %d not found", dk)
+	}
+	next, _ := rows[0][0].AsInt()
+	o := int(next - 1)
+	oKey := k.order(w, d, o)
+	if _, err := t.Exec(fmt.Sprintf("SELECT * FROM customer WHERE c_key = %d", k.customer(w, d, c))); err != nil {
+		return err
+	}
+	nItems := 5 + rng.Intn(11)
+	if _, err := t.Exec(fmt.Sprintf("INSERT INTO orders (o_key, o_w_id, o_d_id, o_id, o_c_id, o_carrier_id, o_ol_cnt) VALUES (%d, %d, %d, %d, %d, 0, %d)", oKey, w, d, o, c, nItems)); err != nil {
+		return err
+	}
+	if _, err := t.Exec(fmt.Sprintf("INSERT INTO new_order (no_key, no_w_id, no_d_id, no_o_id) VALUES (%d, %d, %d, %d)", oKey, w, d, o)); err != nil {
+		return err
+	}
+	for l := 1; l <= nItems; l++ {
+		item := rng.Intn(cfg.Items)
+		sw := w
+		if rng.Intn(100) == 0 {
+			sw = remoteWarehouse(rng, w, cfg.Warehouses)
+		}
+		if _, err := t.Exec(fmt.Sprintf("SELECT * FROM item WHERE i_id = %d", item)); err != nil {
+			return err
+		}
+		if _, err := t.Exec(fmt.Sprintf("UPDATE stock SET s_quantity = s_quantity - 1, s_ytd = s_ytd + 1 WHERE s_key = %d", k.stock(sw, item))); err != nil {
+			return err
+		}
+		if _, err := t.Exec(fmt.Sprintf("INSERT INTO order_line (ol_key, ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id, ol_amount) VALUES (%d, %d, %d, %d, %d, %d, %d, 9.99)",
+			k.orderLine(oKey, l), w, d, o, l, item, sw)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func keyedPayment(t *cluster.Txn, rng *rand.Rand, cfg TPCCConfig, k tpccKeys) error {
+	w := cfg.pickW(rng)
+	d := 1 + rng.Intn(cfg.Districts)
+	c := 1 + rng.Intn(cfg.Customers)
+	cw := w
+	if rng.Intn(100) < 15 {
+		cw = remoteWarehouse(rng, w, cfg.Warehouses)
+	}
+	if _, err := t.Exec(fmt.Sprintf("UPDATE warehouse SET w_ytd = w_ytd + 100.00 WHERE w_id = %d", w)); err != nil {
+		return err
+	}
+	if _, err := t.Exec(fmt.Sprintf("UPDATE district SET d_ytd = d_ytd + 100.00 WHERE d_key = %d", k.district(w, d))); err != nil {
+		return err
+	}
+	if _, err := t.Exec(fmt.Sprintf("UPDATE customer SET c_balance = c_balance - 100.00, c_ytd_payment = c_ytd_payment + 100.00 WHERE c_key = %d", k.customer(cw, d, c))); err != nil {
+		return err
+	}
+	h := tpccHistID.Add(1)
+	_, err := t.Exec(fmt.Sprintf("INSERT INTO history (h_id, h_w_id, h_amount) VALUES (%d, %d, 100.00)", h, w))
+	return err
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the performance-tracked microbenchmarks — graph construction
-# (graph.Build, metis.NewGraph) and the multilevel partitioner
+# (graph.Build, metis.NewGraph), the multilevel partitioner
 # (BenchmarkPartKway on the TPCC-50W-scale graph, BenchmarkPartKwaySolver
-# steady-state) — with -benchmem and records the results as JSON, so the
+# steady-state), and the live incremental-repartitioning cycle
+# (BenchmarkLiveRepartition: window snapshot → graph → min-cut → relabel →
+# migration plan) — with -benchmem and records the results as JSON, so the
 # perf trajectory is tracked PR over PR: BENCH_1.json for PR 1,
 # BENCH_2.json for PR 2, and so on.
 #
@@ -11,11 +13,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_3.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway' -benchmem \
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition' -benchmem \
     -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis | tee "$TXT"
 
 awk '
