@@ -9,8 +9,14 @@
 // paper's evaluation in internal/experiments. The trace→graph→CSR hot
 // path works on interned dense tuple ids (workload.Interner) with
 // deterministic parallel edge generation and counting-sort CSR assembly;
-// DESIGN.md documents that layer and scripts/bench.sh tracks its
-// performance over time.
+// the explanation phase trains its decision trees columnar
+// (SLIQ/SPRINT-style pre-sorted index columns, parallel and
+// byte-identical at any worker count, differential-tested against the
+// seed C4.5); and statement routing resolves through compressed lookup
+// tables (internal/lookup: dense set-dictionary arrays and run-length
+// intervals behind lookup.Router, fuzz-tested equivalent to the hash
+// index they replace). DESIGN.md documents those layers and
+// scripts/bench.sh tracks their performance over time.
 //
 // Beyond the paper's one-shot pipeline, internal/live turns the system
 // adaptive: a capture hook on the cluster coordinator streams committed

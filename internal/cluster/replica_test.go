@@ -35,7 +35,7 @@ func newReplicatedCluster(t testing.TB, n, singles, replicated int) (*Cluster, *
 	}
 	strat := &partition.Lookup{
 		K:         n,
-		Tables:    map[string]lookup.Table{"account": tbl},
+		Router:    lookup.NewRouterFromTables(n, map[string]lookup.Table{"account": tbl}),
 		KeyColumn: map[string]string{"account": "id"},
 	}
 	schema := func() *storage.TableSchema {

@@ -330,29 +330,22 @@ func writeFraction(tr *workload.Trace) float64 {
 // their transaction. Without a database, the untraced default applies to
 // every unknown key instead.
 func buildLookup(tuples []workload.TupleID, dense [][]int, k int, in Input, readMostly bool) *partition.Lookup {
-	tables := make(map[string]lookup.Table)
-	get := func(name string) lookup.Table {
-		t, ok := tables[name]
-		if !ok {
-			t = lookup.NewHashIndex()
-			tables[name] = t
-		}
-		return t
-	}
+	router := lookup.NewRouter(k, nil)
 	for d, parts := range dense {
 		id := tuples[d]
-		get(id.Table).Set(id.Key, parts)
+		router.Set(id.Table, id.Key, parts)
 	}
-	out := &partition.Lookup{K: k, Tables: tables, KeyColumn: in.KeyColumns}
+	out := &partition.Lookup{K: k, Router: router, KeyColumn: in.KeyColumns}
 	if in.DB == nil {
 		if readMostly {
 			out.Default = allParts(k)
 		}
+		router.Compress()
 		return out
 	}
 	all := allParts(k)
 	for _, name := range in.DB.TableNames() {
-		t := get(name)
+		t := router.Table(name)
 		in.DB.Table(name).ScanAll(func(key int64, _ storage.Row) bool {
 			if _, ok := t.Locate(key); !ok {
 				if readMostly {
@@ -365,6 +358,7 @@ func buildLookup(tuples []workload.TupleID, dense [][]int, k int, in Input, read
 		})
 	}
 	out.Floating = true
+	router.Compress()
 	return out
 }
 
@@ -405,6 +399,8 @@ func (r *Result) Report() string {
 			fmt.Fprintf(&sb, "  %s\n", rule)
 		}
 	}
+	fmt.Fprintf(&sb, "lookup tables: %d bytes across %d tables\n",
+		r.Lookup.MemoryBytes(), len(r.Lookup.Router.Names()))
 	fmt.Fprintf(&sb, "time: graph=%v partition=%v explain=%v validate=%v\n",
 		r.Timings.Graph, r.Timings.Partition, r.Timings.Explain, r.Timings.Validate)
 	return sb.String()

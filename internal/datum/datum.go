@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Kind enumerates the supported scalar types.
@@ -60,7 +61,9 @@ var NullD = D{}
 // IsNull reports whether d is NULL.
 func (d D) IsNull() bool { return d.K == Null }
 
-// String renders the datum as SQL-literal-ish text.
+// String renders the datum as SQL literal text that the sqlparse lexer
+// re-reads to an equal value: embedded quotes are doubled, and integral
+// floats keep a ".0" so they do not reparse as ints.
 func (d D) String() string {
 	switch d.K {
 	case Null:
@@ -68,11 +71,26 @@ func (d D) String() string {
 	case Int:
 		return strconv.FormatInt(d.I, 10)
 	case Float:
-		return strconv.FormatFloat(d.F, 'g', -1, 64)
+		s := strconv.FormatFloat(d.F, 'g', -1, 64)
+		if isIntLiteral(s) {
+			s += ".0"
+		}
+		return s
 	case String:
-		return "'" + d.S + "'"
+		return "'" + strings.ReplaceAll(d.S, "'", "''") + "'"
 	}
 	return "?"
+}
+
+// isIntLiteral reports whether s is just an (optionally signed) digit
+// string — the FormatFloat outputs that would round-trip as Int.
+func isIntLiteral(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; (c < '0' || c > '9') && !(i == 0 && c == '-') {
+			return false
+		}
+	}
+	return len(s) > 0
 }
 
 // AsFloat converts numeric datums to float64 (Int is widened); returns

@@ -3,12 +3,19 @@
 // (confidence-based) pruning, k-fold cross-validation, and extraction of
 // the learned tree as predicate rules. It replaces Weka's J48 in Schism's
 // explanation phase (§4.3, §5.2).
+//
+// Training is columnar (SLIQ/SPRINT-style): per-attribute index columns
+// are sorted once up front and stably repartitioned as the tree grows, so
+// no node ever re-sorts, and entropy sweeps run over dense columns with
+// reusable class-histogram scratch. Large nodes are evaluated and built in
+// parallel; the produced tree is byte-identical regardless of worker
+// count. The original recursive row-at-a-time trainer is kept in
+// naive_ref_test.go as the differential-testing reference.
 package dtree
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"schism/internal/datum"
@@ -65,6 +72,9 @@ type Options struct {
 	Confidence float64
 	// MaxDepth bounds tree depth; 0 means unlimited.
 	MaxDepth int
+	// Workers bounds training parallelism; 0 means GOMAXPROCS. The learned
+	// tree is identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -107,12 +117,8 @@ func Train(ds *Dataset, opts Options) *Tree {
 	if ds.NumLabels == 0 {
 		ds.NumLabels = 1
 	}
-	idx := make([]int, ds.Len())
-	for i := range idx {
-		idx[i] = i
-	}
 	t := &Tree{attrs: ds.Attrs, numLabels: ds.NumLabels}
-	t.root = build(ds, idx, opts, 0)
+	t.root = newTrainer(ds, opts).train()
 	if opts.Confidence < 1 {
 		prune(t.root, opts.Confidence)
 	}
@@ -174,46 +180,6 @@ func (t *Tree) Errors(ds *Dataset) int {
 	return wrong
 }
 
-func build(ds *Dataset, idx []int, opts Options, d int) *node {
-	dist := distribution(ds, idx)
-	n := &node{dist: dist, label: argmax(dist)}
-	if pure(dist) || len(idx) < 2*opts.MinLeaf || (opts.MaxDepth > 0 && d >= opts.MaxDepth) {
-		n.leaf = true
-		return n
-	}
-	s := bestSplit(ds, idx, opts)
-	if s == nil {
-		n.leaf = true
-		return n
-	}
-	var left, right []int
-	for _, i := range idx {
-		if goesLeft(ds.Rows[i][s.attr], ds.Attrs[s.attr].Kind, s.threshold) {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < opts.MinLeaf || len(right) < opts.MinLeaf {
-		n.leaf = true
-		return n
-	}
-	n.attr = s.attr
-	n.threshold = s.threshold
-	n.kind = ds.Attrs[s.attr].Kind
-	n.left = build(ds, left, opts, d+1)
-	n.right = build(ds, right, opts, d+1)
-	return n
-}
-
-func distribution(ds *Dataset, idx []int) []int {
-	dist := make([]int, ds.NumLabels)
-	for _, i := range idx {
-		dist[ds.Labels[i]]++
-	}
-	return dist
-}
-
 func pure(dist []int) bool {
 	nonzero := 0
 	for _, c := range dist {
@@ -255,92 +221,6 @@ type split struct {
 	gainRatio float64
 }
 
-// bestSplit searches every attribute for the binary split with the best
-// gain ratio (C4.5's criterion, which normalises information gain by split
-// entropy to avoid favouring high-arity attributes).
-func bestSplit(ds *Dataset, idx []int, opts Options) *split {
-	parentDist := distribution(ds, idx)
-	parentH := entropy(parentDist, len(idx))
-	var best *split
-	for a := range ds.Attrs {
-		var s *split
-		if ds.Attrs[a].Kind == Numeric {
-			s = bestNumericSplit(ds, idx, a, parentH, opts)
-		} else {
-			s = bestCategoricalSplit(ds, idx, a, parentH, opts)
-		}
-		if s != nil && (best == nil || s.gainRatio > best.gainRatio) {
-			best = s
-		}
-	}
-	return best
-}
-
-// bestNumericSplit sorts instances by attribute value and sweeps candidate
-// thresholds at boundaries between distinct values.
-func bestNumericSplit(ds *Dataset, idx []int, attr int, parentH float64, opts Options) *split {
-	type pair struct {
-		v     datum.D
-		label int
-	}
-	pairs := make([]pair, 0, len(idx))
-	for _, i := range idx {
-		v := ds.Rows[i][attr]
-		if v.IsNull() {
-			continue
-		}
-		pairs = append(pairs, pair{v: v, label: ds.Labels[i]})
-	}
-	if len(pairs) < 2*opts.MinLeaf {
-		return nil
-	}
-	sort.Slice(pairs, func(i, j int) bool { return datum.Compare(pairs[i].v, pairs[j].v) < 0 })
-	total := len(pairs)
-	leftDist := make([]int, ds.NumLabels)
-	rightDist := make([]int, ds.NumLabels)
-	distinct := 1
-	for i, p := range pairs {
-		rightDist[p.label]++
-		if i > 0 && !datum.Equal(pairs[i-1].v, p.v) {
-			distinct++
-		}
-	}
-	if distinct < 2 {
-		return nil
-	}
-	// C4.5 (Release 8) MDL correction: choosing among (distinct-1) candidate
-	// thresholds costs log2(distinct-1)/N bits, which is charged against the
-	// gain. This is the classifier's main guard against spurious splits on
-	// noisy continuous attributes.
-	mdl := math.Log2(float64(distinct-1)) / float64(total)
-	var best *split
-	for i := 0; i < total-1; i++ {
-		leftDist[pairs[i].label]++
-		rightDist[pairs[i].label]--
-		if datum.Equal(pairs[i].v, pairs[i+1].v) {
-			continue
-		}
-		nl := i + 1
-		nr := total - nl
-		if nl < opts.MinLeaf || nr < opts.MinLeaf {
-			continue
-		}
-		gain := parentH - (float64(nl)*entropy(leftDist, nl)+float64(nr)*entropy(rightDist, nr))/float64(total) - mdl
-		if gain <= 1e-12 {
-			continue
-		}
-		si := splitInfo(nl, nr)
-		if si <= 0 {
-			continue
-		}
-		gr := gain / si
-		if best == nil || gr > best.gainRatio {
-			best = &split{attr: attr, threshold: midpoint(pairs[i].v, pairs[i+1].v), gainRatio: gr}
-		}
-	}
-	return best
-}
-
 // midpoint picks a split threshold between two adjacent distinct values.
 // For ints it uses the lower value (<= v semantics keep predicates on the
 // actual domain, as in the paper's "s_w_id <= 1" rule).
@@ -354,54 +234,6 @@ func midpoint(a, b datum.D) datum.D {
 		return datum.NewFloat((fa + fb) / 2)
 	}
 	return a
-}
-
-func bestCategoricalSplit(ds *Dataset, idx []int, attr int, parentH float64, opts Options) *split {
-	// Candidate values: distinct values of the attribute in this subset.
-	counts := make(map[datum.D][]int) // value -> class distribution
-	order := []datum.D{}
-	for _, i := range idx {
-		v := ds.Rows[i][attr]
-		if v.IsNull() {
-			continue
-		}
-		if _, ok := counts[v]; !ok {
-			counts[v] = make([]int, ds.NumLabels)
-			order = append(order, v)
-		}
-		counts[v][ds.Labels[i]]++
-	}
-	if len(order) < 2 {
-		return nil
-	}
-	parentDist := distribution(ds, idx)
-	total := len(idx)
-	var best *split
-	for _, v := range order {
-		leftDist := counts[v]
-		nl := sum(leftDist)
-		nr := total - nl
-		if nl < opts.MinLeaf || nr < opts.MinLeaf {
-			continue
-		}
-		rightDist := make([]int, ds.NumLabels)
-		for l := range rightDist {
-			rightDist[l] = parentDist[l] - leftDist[l]
-		}
-		gain := parentH - (float64(nl)*entropy(leftDist, nl)+float64(nr)*entropy(rightDist, nr))/float64(total)
-		if gain <= 1e-12 {
-			continue
-		}
-		si := splitInfo(nl, nr)
-		if si <= 0 {
-			continue
-		}
-		gr := gain / si
-		if best == nil || gr > best.gainRatio {
-			best = &split{attr: attr, threshold: v, gainRatio: gr}
-		}
-	}
-	return best
 }
 
 func splitInfo(nl, nr int) float64 {

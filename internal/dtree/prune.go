@@ -59,8 +59,12 @@ func binomialUpperLimit(e, n int, cf float64) float64 {
 	return (lo + hi) / 2
 }
 
-// binomCDF computes P(X <= e) for X ~ Binomial(n, p), summing terms in log
-// space for numerical stability.
+// binomCDF computes P(X <= e) for X ~ Binomial(n, p) through the
+// regularized incomplete beta function: P(X <= e) = I_{1-p}(n-e, e+1).
+// Unlike the seed's term-by-term summation (kept in naive_ref_test.go and
+// pinned against this one), the continued-fraction evaluation costs O(1)
+// in e, which matters because pruning a large tree inverts this CDF at
+// every node.
 func binomCDF(e, n int, p float64) float64 {
 	if p <= 0 {
 		return 1
@@ -68,17 +72,78 @@ func binomCDF(e, n int, p float64) float64 {
 	if p >= 1 {
 		return 0
 	}
-	lgN, _ := math.Lgamma(float64(n + 1))
-	logP := math.Log(p)
-	logQ := math.Log(1 - p)
-	total := 0.0
-	for i := 0; i <= e; i++ {
-		lgI, _ := math.Lgamma(float64(i + 1))
-		lgNI, _ := math.Lgamma(float64(n - i + 1))
-		total += math.Exp(lgN - lgI - lgNI + float64(i)*logP + float64(n-i)*logQ)
+	if e >= n {
+		return 1
 	}
-	if total > 1 {
-		total = 1
+	return regIncBeta(float64(n-e), float64(e+1), 1-p)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// by the standard continued-fraction expansion (Lentz's method), using the
+// symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to stay in the rapidly converging
+// region.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
 	}
-	return total
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz algorithm.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
 }

@@ -1,0 +1,45 @@
+package dtree
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBinomCDFMatchesSeries pins the continued-fraction binomial CDF
+// against the seed's term-summation over a grid spanning small and large
+// n, including the extremes (e = 0, e = n-1).
+func TestBinomCDFMatchesSeries(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 17, 60, 250, 1000} {
+		for _, e := range []int{0, 1, n / 10, n / 3, n / 2, n - 1} {
+			if e < 0 || e >= n {
+				continue
+			}
+			for _, p := range []float64{0.001, 0.05, 0.25, 0.5, 0.75, 0.99} {
+				got := binomCDF(e, n, p)
+				want := naiveBinomCDF(e, n, p)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("binomCDF(%d, %d, %g) = %.12f, series = %.12f", e, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBinomialUpperLimitMatchesSeries pins the inverted limit (what prune
+// actually consumes) to the seed's within 1e-6.
+func TestBinomialUpperLimitMatchesSeries(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 40, 300, 2000} {
+		for _, e := range []int{0, 1, n / 8, n / 2, n} {
+			if e < 0 || e > n {
+				continue
+			}
+			for _, cf := range []float64{0.1, 0.25, 0.5} {
+				got := binomialUpperLimit(e, n, cf)
+				want := naiveBinomialUpperLimit(e, n, cf)
+				if math.Abs(got-want) > 1e-6 {
+					t.Errorf("U(%d, %d, %g) = %.9f, series = %.9f", e, n, cf, got, want)
+				}
+			}
+		}
+	}
+}

@@ -72,6 +72,9 @@ type DriftSim struct {
 	// with and without minimal-movement relabeling.
 	MovedRelabel, MovedNaive int
 	Adaptations              int
+	// RouterBytes is the deployed routing tables' memory footprint
+	// (compressed lookup representations; App. C.1).
+	RouterBytes int64
 }
 
 // DriftPhaseStats is one cluster load phase.
@@ -89,6 +92,8 @@ type DriftCluster struct {
 	// Baseline and Final score the deployment against the capture window
 	// at baseline time and at the end of the run.
 	Baseline, Final live.Score
+	// RouterBytes is the deployed routing tables' memory footprint.
+	RouterBytes int64
 }
 
 // DriftResult combines both drivers for one scenario.
@@ -222,7 +227,7 @@ func DriftSimRun(name string, s Scale) (DriftSim, error) {
 	if err != nil {
 		return DriftSim{}, err
 	}
-	_, tables := live.DeployLookup(sc.db, sc.k, sc.keyCols, initial.LocateFunc())
+	deployed, tables := live.DeployLookup(sc.db, sc.k, sc.keyCols, initial.LocateFunc())
 	ctrl := live.NewController(live.Config{
 		K: sc.k, Window: sc.window, Detector: sc.detector,
 		Repartition: live.RepartitionConfig{Graph: sc.gopts, Metis: sc.mopts},
@@ -247,7 +252,7 @@ func DriftSimRun(name string, s Scale) (DriftSim, error) {
 		return DriftSim{}, err
 	}
 
-	out := DriftSim{Scenario: sc.name, Baseline: baseline}
+	out := DriftSim{Scenario: sc.name, Baseline: baseline, RouterBytes: deployed.MemoryBytes()}
 	ads := ctrl.Adaptations()
 	out.Adaptations = len(ads)
 	if len(ads) > 0 {
@@ -327,7 +332,7 @@ func runDriftClusterScenario(sc driftScenario) (DriftCluster, error) {
 	ctrl.Start()
 	co.SetCapture(ctrl.Record)
 
-	out := DriftCluster{Scenario: sc.name}
+	out := DriftCluster{Scenario: sc.name, RouterBytes: deployed.MemoryBytes()}
 	run := func(phase string, fn cluster.TxnFunc, seed int64) {
 		st := cluster.RunLoad(co, sc.clients, sc.duration, seed, fn)
 		out.Phases = append(out.Phases, DriftPhaseStats{Name: phase, Stats: st})
@@ -369,6 +374,7 @@ func Drift(name string, s Scale) (DriftResult, error) {
 func PrintDrift(w io.Writer, r DriftResult) {
 	fmt.Fprintf(w, "Drift scenario: %s\n", r.Sim.Scenario)
 	fmt.Fprintf(w, "control loop (deterministic):\n")
+	fmt.Fprintf(w, "  routing tables: %d bytes\n", r.Sim.RouterBytes)
 	fmt.Fprintf(w, "  baseline   %v\n", r.Sim.Baseline)
 	if r.Sim.Adaptations == 0 {
 		fmt.Fprintf(w, "  no adaptation triggered\n")

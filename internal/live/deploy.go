@@ -10,18 +10,19 @@ import (
 // DeployLookup builds the mutable routing state the live loop adapts: a
 // per-tuple lookup strategy covering every existing tuple of db, placed
 // by locate (nil replica sets fall back to key-hash placement so every
-// existing tuple gets a definite home). The returned tables are the
-// SyncTables behind the strategy — the migration executor flips their
-// entries as tuples move. The strategy is Floating: keys born after
-// deployment follow their transactions until a later repartition places
-// them.
+// existing tuple gets a definite home). Each table is filled into the
+// compressed Compact representation — deliberately NOT Compress'd into
+// Runs, whose Set splits intervals in O(runs): these tables are flipped
+// twice per moved tuple by the migration executor under the SyncTable
+// write lock, so they need Compact's O(1) mutable slots. The returned
+// SyncTables are what the executor flips as tuples move. The strategy is
+// Floating: keys born after deployment follow their transactions until a
+// later repartition places them.
 func DeployLookup(db *storage.Database, k int, keyCols map[string]string, locate LocateFunc) (*partition.Lookup, map[string]*SyncTable) {
-	tables := make(map[string]lookup.Table)
+	router := lookup.NewRouter(k, nil)
 	sync := make(map[string]*SyncTable)
 	for _, name := range db.TableNames() {
-		st := NewSyncTable(lookup.NewHashIndex())
-		sync[name] = st
-		tables[name] = st
+		t := lookup.NewCompact()
 		db.Table(name).ScanAll(func(key int64, _ storage.Row) bool {
 			id := workload.TupleID{Table: name, Key: key}
 			parts := locate(id)
@@ -29,9 +30,13 @@ func DeployLookup(db *storage.Database, k int, keyCols map[string]string, locate
 				// The hash fallback partition.Lookup itself would apply.
 				parts = []int{partition.HashPart(key, k)}
 			}
-			st.Set(key, parts)
+			t.Set(key, parts)
 			return true
 		})
+		t.Trim()
+		st := NewSyncTable(t)
+		sync[name] = st
+		router.Put(name, st)
 	}
-	return &partition.Lookup{K: k, Tables: tables, Floating: true, KeyColumn: keyCols}, sync
+	return &partition.Lookup{K: k, Router: router, Floating: true, KeyColumn: keyCols}, sync
 }

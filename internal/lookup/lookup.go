@@ -1,7 +1,11 @@
-// Package lookup implements the three physical lookup-table designs the
-// paper evaluates for fine-grained (per-tuple) partitioning (§4.2, App.
-// C.1): a hash index, a dense bit-array (one byte per tuple id), and
-// per-partition Bloom filters that trade memory for false-positive routing.
+// Package lookup implements the physical lookup-table designs the paper
+// evaluates for fine-grained (per-tuple) partitioning (§4.2, App. C.1) —
+// a hash index, a dense bit-array (one byte per tuple id), and
+// per-partition Bloom filters that trade memory for false-positive
+// routing — plus the compressed representations the deployment actually
+// routes through: Compact (dense set-dictionary ids, 1–2 bytes per tuple)
+// and Runs (run-length intervals for range-clustered keys), bundled per
+// table behind Router (router.go), which picks the smallest encoding.
 package lookup
 
 import (
@@ -81,6 +85,21 @@ func (h *HashIndex) MemoryBytes() int64 {
 
 // Len returns the number of keys stored.
 func (h *HashIndex) Len() int { return len(h.m) }
+
+// Range implements Ranger: ascending-key enumeration (the map keys are
+// collected and sorted first).
+func (h *HashIndex) Range(f func(key int64, parts []int) bool) {
+	keys := make([]int64, 0, len(h.m))
+	for k := range h.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if !f(k, h.sets[h.m[k]]) {
+			return
+		}
+	}
+}
 
 // BitArray stores one byte per key for dense integer keys in [0, n): the
 // paper's "16 GB coordinator routes 15 billion tuples" design. Replica

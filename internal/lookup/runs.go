@@ -1,0 +1,152 @@
+package lookup
+
+import (
+	"math"
+	"sort"
+)
+
+// Runs is the run-length compressed lookup table for range-clustered
+// keys: maximal runs of consecutive keys sharing a replica set are stored
+// as [start, end) intervals referencing the set dictionary, and Locate is
+// a binary search. A range-partitioned table of any size costs ~20 bytes
+// per run, so k runs describe an entire k-way range partitioning.
+type Runs struct {
+	starts []int64 // sorted, non-overlapping
+	ends   []int64 // exclusive
+	ids    []uint32
+	dict   setDict
+	// maxKey holds math.MaxInt64's replica set separately: that key's
+	// exclusive run end would overflow, so it never joins a run.
+	maxKey []int
+}
+
+// NewRuns returns an empty run-length lookup table.
+func NewRuns() *Runs { return &Runs{} }
+
+// find returns the index of the run containing key, or -1.
+func (r *Runs) find(key int64) int {
+	i := sort.Search(len(r.starts), func(i int) bool { return r.starts[i] > key }) - 1
+	if i >= 0 && key < r.ends[i] {
+		return i
+	}
+	return -1
+}
+
+// Locate returns the replica set for key.
+func (r *Runs) Locate(key int64) ([]int, bool) {
+	if key == math.MaxInt64 {
+		return r.maxKey, r.maxKey != nil
+	}
+	if i := r.find(key); i >= 0 {
+		return r.dict.sets[r.ids[i]], true
+	}
+	return nil, false
+}
+
+// Set records the replica set for key, splitting and merging runs as
+// needed. Appending keys in ascending order with clustered sets costs
+// amortised O(1); arbitrary overwrites cost O(runs).
+func (r *Runs) Set(key int64, parts []int) {
+	id := r.dict.intern(parts)
+	if key == math.MaxInt64 {
+		r.maxKey = r.dict.sets[id]
+		return
+	}
+	// Fast path: extend or append after the final run.
+	if n := len(r.starts); n == 0 || key >= r.ends[n-1] {
+		if n > 0 && key == r.ends[n-1] && r.ids[n-1] == id {
+			r.ends[n-1]++
+			return
+		}
+		r.starts = append(r.starts, key)
+		r.ends = append(r.ends, key+1)
+		r.ids = append(r.ids, id)
+		return
+	}
+	if i := r.find(key); i >= 0 {
+		if r.ids[i] == id {
+			return
+		}
+		// Split run i around key, then re-insert the singleton.
+		s, e, old := r.starts[i], r.ends[i], r.ids[i]
+		r.remove(i)
+		if key+1 < e {
+			r.insert(i, key+1, e, old)
+		}
+		if s < key {
+			r.insert(i, s, key, old)
+		}
+	}
+	// key is now uncovered; place the singleton and merge neighbours.
+	i := sort.Search(len(r.starts), func(i int) bool { return r.starts[i] > key })
+	r.insert(i, key, key+1, id)
+	r.mergeAround(i)
+}
+
+// remove deletes run i.
+func (r *Runs) remove(i int) {
+	r.starts = append(r.starts[:i], r.starts[i+1:]...)
+	r.ends = append(r.ends[:i], r.ends[i+1:]...)
+	r.ids = append(r.ids[:i], r.ids[i+1:]...)
+}
+
+// insert places a run at index i.
+func (r *Runs) insert(i int, start, end int64, id uint32) {
+	r.starts = append(r.starts, 0)
+	copy(r.starts[i+1:], r.starts[i:])
+	r.starts[i] = start
+	r.ends = append(r.ends, 0)
+	copy(r.ends[i+1:], r.ends[i:])
+	r.ends[i] = end
+	r.ids = append(r.ids, 0)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+}
+
+// mergeAround coalesces run i with adjacent runs of the same set.
+func (r *Runs) mergeAround(i int) {
+	if i+1 < len(r.starts) && r.ends[i] == r.starts[i+1] && r.ids[i] == r.ids[i+1] {
+		r.ends[i] = r.ends[i+1]
+		r.remove(i + 1)
+	}
+	if i > 0 && r.ends[i-1] == r.starts[i] && r.ids[i-1] == r.ids[i] {
+		r.ends[i-1] = r.ends[i]
+		r.remove(i)
+	}
+}
+
+// NumRuns returns the number of stored intervals.
+func (r *Runs) NumRuns() int { return len(r.starts) }
+
+// Len returns the number of keys covered.
+func (r *Runs) Len() int {
+	var n int64
+	for i := range r.starts {
+		n += r.ends[i] - r.starts[i]
+	}
+	if r.maxKey != nil {
+		n++
+	}
+	return int(n)
+}
+
+// MemoryBytes counts 20 bytes per run (two int64 bounds + one id) plus
+// the set dictionary.
+func (r *Runs) MemoryBytes() int64 {
+	return int64(len(r.starts))*20 + r.dict.memoryBytes()
+}
+
+// Range implements Ranger: ascending-key enumeration (O(keys covered)).
+func (r *Runs) Range(f func(key int64, parts []int) bool) {
+	for i := range r.starts {
+		set := r.dict.sets[r.ids[i]]
+		for k := r.starts[i]; k < r.ends[i]; k++ {
+			if !f(k, set) {
+				return
+			}
+		}
+	}
+	if r.maxKey != nil {
+		f(math.MaxInt64, r.maxKey)
+	}
+}

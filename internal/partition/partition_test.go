@@ -148,7 +148,7 @@ func TestLookupStrategy(t *testing.T) {
 	idx.Set(1, []int{0})
 	idx.Set(2, []int{1})
 	idx.Set(3, []int{0, 1})
-	l := &Lookup{K: 2, Tables: map[string]lookup.Table{"t": idx}, KeyColumn: map[string]string{"t": "id"}}
+	l := &Lookup{K: 2, Router: lookup.NewRouterFromTables(2, map[string]lookup.Table{"t": idx}), KeyColumn: map[string]string{"t": "id"}}
 	if got := l.Locate(tid("t", 3), nil); len(got) != 2 {
 		t.Errorf("replicated tuple: %v", got)
 	}
@@ -158,7 +158,7 @@ func TestLookupStrategy(t *testing.T) {
 		t.Errorf("unknown key: %v", got)
 	}
 	// Unknown key with Default = everywhere.
-	lAll := &Lookup{K: 2, Tables: map[string]lookup.Table{"t": idx}, Default: []int{0, 1}}
+	lAll := &Lookup{K: 2, Router: lookup.NewRouterFromTables(2, map[string]lookup.Table{"t": idx}), Default: []int{0, 1}}
 	if got := lAll.Locate(tid("t", 99), nil); len(got) != 2 {
 		t.Errorf("default replica set: %v", got)
 	}
@@ -191,7 +191,7 @@ func costStrategy() Strategy {
 		idx.Set(k, []int{1})
 	}
 	idx.Set(100, []int{0, 1})
-	return &Lookup{K: 2, Tables: map[string]lookup.Table{"t": idx}}
+	return &Lookup{K: 2, Router: lookup.NewRouterFromTables(2, map[string]lookup.Table{"t": idx})}
 }
 
 func TestEvaluateSingleSited(t *testing.T) {

@@ -347,8 +347,10 @@ func condIntersects(rc RangeCond, c sqlparse.Constraint) bool {
 // Lookup is the fine-grained per-tuple strategy backed by lookup tables
 // (§4.2): the direct output of the graph partitioner.
 type Lookup struct {
-	K      int
-	Tables map[string]lookup.Table
+	K int
+	// Router holds the per-table lookup tables (compressed representations
+	// behind the lookup.Table interface) and is the routing hot path.
+	Router *lookup.Router
 	// Default is the replica set for keys missing from the tables (new or
 	// never-traced tuples). Nil means hash placement on the key, matching
 	// the paper's "insert into a random partition"; the Epinions experiment
@@ -368,6 +370,9 @@ type Lookup struct {
 // Name implements Strategy.
 func (l *Lookup) Name() string { return "lookup-table" }
 
+// MemoryBytes reports the routing-metadata footprint (App. C.1).
+func (l *Lookup) MemoryBytes() int64 { return l.Router.MemoryBytes() }
+
 // Complexity implements Strategy.
 func (l *Lookup) Complexity() int { return 2 }
 
@@ -377,10 +382,8 @@ func (l *Lookup) NumPartitions() int { return l.K }
 // Locate implements Strategy. A nil result means "unconstrained": the
 // tuple is new and can be created wherever the transaction runs.
 func (l *Lookup) Locate(id workload.TupleID, row Row) []int {
-	if t, ok := l.Tables[id.Table]; ok {
-		if parts, ok := t.Locate(id.Key); ok {
-			return parts
-		}
+	if parts, ok := l.Router.Locate(id.Table, id.Key); ok {
+		return parts
 	}
 	if l.Floating {
 		return nil
@@ -394,7 +397,7 @@ func (l *Lookup) Locate(id workload.TupleID, row Row) []int {
 // RouteStmt implements Strategy: equality constraints on the key column
 // resolve through the lookup table; everything else broadcasts.
 func (l *Lookup) RouteStmt(table string, cons []sqlparse.Constraint, routable bool) Route {
-	t, ok := l.Tables[table]
+	t, ok := l.Router.Get(table)
 	keyCol := l.KeyColumn[table]
 	if !ok || !routable || keyCol == "" {
 		return broadcast(l.K)

@@ -55,6 +55,20 @@ func lex(src string) ([]token, error) {
 			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
 				l.pos++
 			}
+			// Exponent suffix (1e9, 2.5E-3, 1e+06): consumed only when a
+			// well-formed exponent follows, so "1e" stays number + ident.
+			if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+				j := l.pos + 1
+				if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+					j++
+				}
+				if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+					for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+						j++
+					}
+					l.pos = j
+				}
+			}
 			l.emit(tokNumber, l.src[start:l.pos], start)
 		case c == '\'':
 			start := l.pos

@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -430,8 +431,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return nil, p.errorf("unsupported operator %q", opTok.text)
 	}
 	p.next()
-	// Right side: literal or column reference (join predicate).
-	if p.peek().kind == tokIdent {
+	// Right side: literal or column reference (join predicate). NULL is
+	// always the literal, never a column, so placeholder comparisons
+	// round-trip through their rendered form.
+	if p.peek().kind == tokIdent && !strings.EqualFold(p.peek().text, "NULL") {
 		rc, err := p.colRef()
 		if err != nil {
 			return nil, err
@@ -469,9 +472,9 @@ func (p *parser) literal() (datum.D, error) {
 	switch t.kind {
 	case tokNumber:
 		p.next()
-		if strings.ContainsRune(t.text, '.') {
+		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
-			if err != nil {
+			if err != nil || math.IsInf(f, 0) {
 				return datum.NullD, p.errorf("bad float %q", t.text)
 			}
 			return datum.NewFloat(f), nil

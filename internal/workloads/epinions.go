@@ -359,9 +359,9 @@ func epinionsManual(g *epinionsGraph, k int) partition.Strategy {
 	}
 	return &partition.Lookup{
 		K: k,
-		Tables: map[string]lookup.Table{
+		Router: lookup.NewRouterFromTables(k, map[string]lookup.Table{
 			"reviews": reviewLT, "items": itemLT, "users": usersLT, "trust": trustLT,
-		},
+		}),
 		Default:   all,
 		KeyColumn: map[string]string{"users": "u_id", "items": "i_id", "reviews": "r_id", "trust": "t_id"},
 	}

@@ -2,36 +2,46 @@
 # Runs the performance-tracked microbenchmarks — graph construction
 # (graph.Build, metis.NewGraph), the multilevel partitioner
 # (BenchmarkPartKway on the TPCC-50W-scale graph, BenchmarkPartKwaySolver
-# steady-state), and the live incremental-repartitioning cycle
-# (BenchmarkLiveRepartition: window snapshot → graph → min-cut → relabel →
-# migration plan) — with -benchmem and records the results as JSON, so the
-# perf trajectory is tracked PR over PR: BENCH_1.json for PR 1,
-# BENCH_2.json for PR 2, and so on.
+# steady-state), the live incremental-repartitioning cycle
+# (BenchmarkLiveRepartition), the explanation-phase decision-tree trainer
+# (BenchmarkExplain: columnar vs the seed implementation), and the routing
+# hot path (BenchmarkRouterLocate: HashIndex vs the compressed Compact /
+# Runs representations, with per-table memory as table-bytes) — with
+# -benchmem and records the results as JSON, so the perf trajectory is
+# tracked PR over PR: BENCH_1.json for PR 1, BENCH_2.json for PR 2, and so
+# on.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=10x scripts/bench.sh   # more iterations for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_3.json}"
+OUT="${1:-BENCH_4.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition' -benchmem \
-    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis | tee "$TXT"
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup | tee "$TXT"
 
 awk '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
-    ns = "null"; bop = "null"; aop = "null"
+    ns = "null"; bop = "null"; aop = "null"; extra = ""
     for (i = 3; i <= NF; i++) {
-        if ($i == "ns/op")     ns  = $(i-1)
-        if ($i == "B/op")      bop = $(i-1)
-        if ($i == "allocs/op") aop = $(i-1)
+        if ($i == "ns/op")          ns  = $(i-1)
+        else if ($i == "B/op")      bop = $(i-1)
+        else if ($i == "allocs/op") aop = $(i-1)
+        else if (i > 3 && $i !~ /^[0-9.+-]/) {
+            # custom b.ReportMetric units (edgecut, table-bytes, leaves, ...)
+            if (extra != "") extra = extra ", "
+            extra = extra "\"" $i "\": " $(i-1)
+        }
     }
     if (!first) printf(",\n")
     first = 0
-    printf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, ns, bop, aop)
+    printf("  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", $1, $2, ns, bop, aop)
+    if (extra != "") printf(", \"metrics\": {%s}", extra)
+    printf("}")
 }
 END { print "\n]" }
 ' "$TXT" > "$OUT"
