@@ -7,6 +7,7 @@
 //	experiments -run fig6    # TPC-C end-to-end throughput scaling (Fig. 6)
 //	experiments -run table1  # graph sizes (Table 1)
 //	experiments -run drift   # online repartitioning under workload drift
+//	experiments -run bench   # end-to-end strategy-comparison benchmark
 //	experiments -run all
 //
 // -scale N multiplies dataset sizes (1 = laptop defaults); -quick shrinks
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|drift|all")
+	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|drift|bench|all")
 	scale := flag.Int("scale", 1, "dataset scale factor")
 	quick := flag.Bool("quick", false, "tiny datasets for smoke runs")
 	flag.Parse()
@@ -49,6 +50,14 @@ func main() {
 	})
 	do("fig6", func() { experiments.PrintFig6(os.Stdout, experiments.Fig6(experiments.Fig6Config{}, s)) })
 	do("table1", func() { experiments.PrintTable1(os.Stdout, experiments.Table1(s)) })
+	do("bench", func() {
+		res, err := experiments.Bench(experiments.BenchConfig{}, s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		experiments.PrintBench(os.Stdout, res)
+	})
 	do("drift", func() {
 		for _, sc := range []string{"ycsb", "tpcc"} {
 			res, err := experiments.Drift(sc, s)

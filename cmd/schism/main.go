@@ -15,6 +15,16 @@
 // a live cluster run with tuple migration under traffic):
 //
 //	schism drift -scenario ycsb|tpcc [-scale n] [-quick] [-sim-only]
+//
+// The bench subcommand runs the end-to-end strategy-comparison benchmark:
+// concurrent closed-loop (or open-loop) clients drive identical TPC-C
+// transaction streams through a simulated cluster under Schism lookup
+// routing vs hash vs range vs full-replication, reporting throughput,
+// p50/p95/p99 latency, distributed-transaction rate, abort rate, and
+// per-node load imbalance:
+//
+//	schism bench [-warehouses 8] [-partitions 4] [-clients 8] [-quick]
+//	             [-measure 2s] [-rate 0] [-strategies schism,hash,...]
 package main
 
 import (
@@ -56,9 +66,50 @@ func driftMain(args []string) {
 	experiments.PrintDrift(os.Stdout, res)
 }
 
+// benchMain drives the strategy-comparison benchmark.
+func benchMain(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	warehouses := fs.Int("warehouses", 0, "TPC-C warehouses (0 = default 8)")
+	partitions := fs.Int("partitions", 0, "cluster nodes / partitions k (0 = default 4)")
+	clients := fs.Int("clients", 0, "concurrent clients (0 = 2*partitions)")
+	warmup := fs.Duration("warmup", 0, "warmup phase (0 = scale default, negative = none)")
+	measure := fs.Duration("measure", 0, "measurement phase (0 = scale default)")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate, txns/s (0 = closed loop)")
+	logForce := fs.Duration("log-force", 0, "commit-log flush latency (0 = default 5ms, negative = none)")
+	netDelay := fs.Duration("net-delay", 0, "one-way network latency (0 = none)")
+	seed := fs.Int64("seed", 0, "random seed (0 = default)")
+	scale := fs.Int("scale", 1, "dataset scale factor")
+	quick := fs.Bool("quick", false, "tiny datasets for smoke runs")
+	strategies := fs.String("strategies", "", "comma-separated subset of schism,hash,range,replication")
+	fs.Parse(args)
+
+	cfg := experiments.BenchConfig{
+		Warehouses: *warehouses, Partitions: *partitions, Clients: *clients,
+		Warmup: *warmup, Measure: *measure, Rate: *rate,
+		LogForce: *logForce, NetworkDelay: *netDelay, Seed: *seed,
+	}
+	if *strategies != "" {
+		for _, s := range strings.Split(*strategies, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Strategies = append(cfg.Strategies, s)
+			}
+		}
+	}
+	res, err := experiments.Bench(cfg, experiments.Scale{Factor: *scale, Quick: *quick})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schism bench:", err)
+		os.Exit(1)
+	}
+	experiments.PrintBench(os.Stdout, res)
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "drift" {
 		driftMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		benchMain(os.Args[2:])
 		return
 	}
 	name := flag.String("workload", "tpcc", "workload: tpcc|tpce|ycsb-a|ycsb-e|epinions|random")

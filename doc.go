@@ -27,7 +27,23 @@
 // while traffic continues (see DESIGN.md, "Online repartitioning", and
 // examples/drift).
 //
+// The paper's headline claim — fewer distributed transactions means
+// higher throughput — is measured end to end by internal/driver: a
+// concurrent benchmark harness that drives the cluster coordinator with
+// closed-loop (or open-loop, fixed-arrival-rate) clients executing
+// deterministic per-client transaction streams (internal/workloads
+// streams; byte-identical sequences at any GOMAXPROCS), records latency
+// in a lock-free sharded HDR-style histogram (p50/p95/p99/p999), and
+// reports throughput, distributed-transaction and per-statement
+// distribution rates, abort/retry rates, and per-node load imbalance.
+// `schism bench` (or `experiments -run bench`) runs the same TPC-C
+// streams under Schism lookup routing vs hash vs range vs
+// full-replication and prints the Fig. 6/7-style comparison; DESIGN.md
+// ("Benchmark driver") documents the harness and scripts/bench.sh
+// snapshots the numbers (BENCH_5.json).
+//
 // Run the evaluation with cmd/experiments, the partitioner with
-// cmd/schism, and the online-repartitioning experiment with
-// `schism drift` or `experiments -run drift`.
+// cmd/schism, the online-repartitioning experiment with `schism drift`
+// or `experiments -run drift`, and the end-to-end benchmark with
+// `schism bench` or `experiments -run bench`.
 package schism

@@ -16,8 +16,10 @@ import (
 	"sync"
 	"time"
 
+	"schism/internal/partition"
 	"schism/internal/storage"
 	"schism/internal/txn"
+	"schism/internal/workload"
 )
 
 // Config describes the simulated cluster.
@@ -37,6 +39,16 @@ type Config struct {
 	LockTimeout time.Duration
 	// QueueDepth is the per-node request queue length (default 1024).
 	QueueDepth int
+	// LogForce is the synchronous commit-log flush latency a node pays
+	// before acknowledging a prepare or a commit (§3 attributes the
+	// distributed-transaction penalty to "the additional network messages
+	// and log writes" of 2PC: a single-node transaction forces the log
+	// once, a distributed one forces it twice per participant, both on
+	// the client-visible latency path). It holds the executing worker for
+	// the flush, like a synchronous fsync holds a backend thread, but
+	// sleeps rather than spins (IO wait, not CPU). Zero (the default)
+	// disables it.
+	LogForce time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +98,17 @@ func (c *Cluster) NumNodes() int { return len(c.nodes) }
 // Node returns node i (tests and data loaders use this for direct access).
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
+// NodeOps snapshots every node's executed-statement counter. The
+// benchmark driver diffs two snapshots to compute per-node load and
+// imbalance over a measurement window.
+func (c *Cluster) NodeOps() []int64 {
+	out := make([]int64, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Ops()
+	}
+	return out
+}
+
 // Close shuts down every node's workers.
 func (c *Cluster) Close() {
 	c.mu.Lock()
@@ -97,6 +120,38 @@ func (c *Cluster) Close() {
 	for _, n := range c.nodes {
 		n.close()
 	}
+}
+
+// SplitDatabase materialises one node's shard of a single-node database
+// image: every tuple the strategy places (or replicates) on that node,
+// with partition.HashPart fallback for tuples the strategy leaves
+// unplaced. Experiments and tests use it so clusters are populated by
+// exactly the placement the router will consult.
+func SplitDatabase(src *storage.Database, strat partition.Strategy, node int) *storage.Database {
+	k := strat.NumPartitions()
+	db := storage.NewDatabase()
+	for _, tn := range src.TableNames() {
+		st := src.Table(tn)
+		schema := *st.Schema
+		tbl := db.MustCreateTable(&schema)
+		st.ScanAll(func(key int64, row storage.Row) bool {
+			id := workload.TupleID{Table: tn, Key: key}
+			parts := strat.Locate(id, storage.RowView{Schema: st.Schema, Data: row})
+			if len(parts) == 0 {
+				parts = []int{partition.HashPart(key, k)}
+			}
+			for _, p := range parts {
+				if p == node {
+					if err := tbl.Insert(row.Clone()); err != nil {
+						panic(err)
+					}
+					break
+				}
+			}
+			return true
+		})
+	}
+	return db
 }
 
 // waitNet blocks until a message sent at sentAt has crossed the wire.

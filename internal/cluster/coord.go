@@ -94,6 +94,10 @@ func (co *Coordinator) Drain() {
 	}
 }
 
+// Cluster returns the cluster this coordinator drives (the benchmark
+// driver snapshots per-node load counters through it).
+func (co *Coordinator) Cluster() *Cluster { return co.c }
+
 // Strategy returns the currently deployed routing strategy.
 func (co *Coordinator) Strategy() partition.Strategy {
 	co.mu.RLock()
@@ -123,6 +127,14 @@ func (co *Coordinator) SetCapture(fn CaptureFunc) {
 	co.mu.Unlock()
 }
 
+// StmtObserver receives one measurement per successfully executed
+// statement: the table it targeted, whether it was a write, how many
+// nodes it touched (nodes > 1 means the statement itself was
+// distributed), and its wall-clock latency including fan-out, queueing
+// and simulated network time. The benchmark driver installs one to build
+// per-statement latency histograms.
+type StmtObserver func(table string, write bool, nodes int, d time.Duration)
+
 // Txn is a client transaction handle. Not safe for concurrent use.
 type Txn struct {
 	co      *Coordinator
@@ -135,6 +147,26 @@ type Txn struct {
 
 	capture CaptureFunc
 	accs    []workload.Access
+
+	observer StmtObserver
+	// Per-statement classification of the current attempt. A statement is
+	// counted exactly once however many keys it matches or replicas it
+	// fans out to: stmtDist increments when the statement's (deduplicated)
+	// target set spans more than one node, stmtLocal otherwise.
+	stmtLocal int
+	stmtDist  int
+}
+
+// SetStmtObserver installs (or, with nil, removes) the per-statement
+// hook. Retries keep the observer.
+func (t *Txn) SetStmtObserver(fn StmtObserver) { t.observer = fn }
+
+// StmtCounts returns the current attempt's per-statement classification:
+// how many statements executed on a single node and how many spanned
+// several. Counters reset when a concurrency-control retry restarts the
+// transaction, so after Commit they describe the committed execution.
+func (t *Txn) StmtCounts() (local, distributed int) {
+	return t.stmtLocal, t.stmtDist
 }
 
 // Begin starts a transaction with a fresh wait-die timestamp.
@@ -169,6 +201,7 @@ func (t *Txn) reset() {
 	t.touched = make(map[int]bool)
 	t.failed = false
 	t.accs = t.accs[:0]
+	t.stmtLocal, t.stmtDist = 0, 0
 	t.co.register(t.ts)
 }
 
@@ -244,6 +277,15 @@ func (t *Txn) ExecStmtAt(stmt sqlparse.Statement, nodes []int) ([]storage.Row, e
 // captured access set matches offline trace semantics (one access per
 // tuple per statement).
 func (t *Txn) execOn(stmt sqlparse.Statement, table string, write bool, targets []int) ([]storage.Row, error) {
+	if len(targets) > 1 {
+		t.stmtDist++
+	} else {
+		t.stmtLocal++
+	}
+	start := time.Time{}
+	if t.observer != nil {
+		start = time.Now()
+	}
 	resps := t.fanout(reqExec, stmt, targets)
 	var rows []storage.Row
 	var seen map[int64]struct{}
@@ -270,6 +312,9 @@ func (t *Txn) execOn(stmt sqlparse.Statement, table string, write bool, targets 
 				})
 			}
 		}
+	}
+	if t.observer != nil {
+		t.observer(table, write, len(targets), time.Since(start))
 	}
 	return rows, nil
 }
@@ -387,11 +432,35 @@ func Retryable(err error) bool {
 	return errors.Is(err, txn.ErrDie) || errors.Is(err, txn.ErrTimeout)
 }
 
+// TxnResult summarises one transaction driven through the retry loop.
+type TxnResult struct {
+	// Distributed reports whether the committed execution touched more
+	// than one node.
+	Distributed bool
+	// Nodes is the number of nodes the committed execution touched.
+	Nodes int
+	// Aborts counts the concurrency-control aborts that were retried
+	// before the transaction committed (or was given up on).
+	Aborts int
+	// StmtLocal / StmtDistributed classify the committed execution's
+	// statements: each statement counts exactly once, as distributed when
+	// its deduplicated node target set spanned more than one node.
+	StmtLocal, StmtDistributed int
+}
+
 // RunTxn executes fn as a transaction, retrying concurrency-control aborts
 // with the same timestamp (so the retry ages and eventually wins). It
 // returns whether the committed execution was distributed and how many
 // aborts occurred.
 func (co *Coordinator) RunTxn(fn func(*Txn) error) (distributed bool, aborts int, err error) {
+	res, err := co.runTxn(co.begin(false), fn)
+	return res.Distributed, res.Aborts, err
+}
+
+// RunTxnStats is RunTxn with the full per-transaction result: node span
+// and per-statement distributed-vs-local classification. The benchmark
+// driver's counters are built from it.
+func (co *Coordinator) RunTxnStats(fn func(*Txn) error) (TxnResult, error) {
 	return co.runTxn(co.begin(false), fn)
 }
 
@@ -399,28 +468,45 @@ func (co *Coordinator) RunTxn(fn func(*Txn) error) (distributed bool, aborts int
 // (the live migration executor) must not record its own transactions into
 // the drift window it is reacting to.
 func (co *Coordinator) RunSystemTxn(fn func(*Txn) error) (distributed bool, aborts int, err error) {
-	return co.runTxn(co.begin(true), fn)
+	res, err := co.runTxn(co.begin(true), fn)
+	return res.Distributed, res.Aborts, err
 }
 
-func (co *Coordinator) runTxn(t *Txn, fn func(*Txn) error) (distributed bool, aborts int, err error) {
+func (co *Coordinator) runTxn(t *Txn, fn func(*Txn) error) (TxnResult, error) {
 	const maxAttempts = 200
+	res := TxnResult{}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		ferr := fn(t)
 		if ferr == nil {
 			ferr = t.Commit()
 			if ferr == nil {
-				return len(t.touched) > 1, aborts, nil
+				res.Distributed = len(t.touched) > 1
+				res.Nodes = len(t.touched)
+				res.StmtLocal, res.StmtDistributed = t.stmtLocal, t.stmtDist
+				return res, nil
 			}
 		} else {
 			t.Abort()
 		}
 		if !Retryable(ferr) {
-			return false, aborts, ferr
+			return res, ferr
 		}
-		aborts++
-		time.Sleep(time.Duration(50+t.rng.Intn(200)) * time.Microsecond)
+		res.Aborts++
+		// Exponential backoff with jitter: a wait-die victim usually died
+		// against a holder that keeps its locks for the rest of a multi-
+		// statement transaction, so immediate retries just die again
+		// (and flood the executors with doomed statements). Backing off
+		// toward the holder's timescale turns a retry storm into roughly
+		// one retry per conflict; the victim keeps its timestamp, so it
+		// still ages and eventually wins.
+		shift := attempt
+		if shift > 7 {
+			shift = 7
+		}
+		base := (100 * time.Microsecond) << shift
+		time.Sleep(base/2 + time.Duration(t.rng.Int63n(int64(base))))
 		t.reset()
 	}
 	t.co.deregister(t.ts)
-	return false, aborts, fmt.Errorf("cluster: transaction starved after %d attempts", maxAttempts)
+	return res, fmt.Errorf("cluster: transaction starved after %d attempts", maxAttempts)
 }

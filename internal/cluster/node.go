@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schism/internal/sqlparse"
@@ -49,6 +50,10 @@ type Node struct {
 	reqCh chan *request
 	wg    sync.WaitGroup
 
+	// ops counts statement executions this node performed (load metric:
+	// the benchmark driver diffs snapshots to compute per-node imbalance).
+	ops atomic.Int64
+
 	tmu  sync.Mutex
 	txns map[txn.TS]*txnState
 }
@@ -91,6 +96,10 @@ func (n *Node) close() {
 // Callers must not use it while a load is running.
 func (n *Node) DB() *storage.Database { return n.db }
 
+// Ops returns the number of statements this node has executed since it
+// started (monotonic; safe to read while traffic runs).
+func (n *Node) Ops() int64 { return n.ops.Load() }
+
 // send enqueues a request; the caller reads the reply channel.
 func (n *Node) send(r *request) {
 	r.sentAt = time.Now()
@@ -111,10 +120,17 @@ func (n *Node) worker() {
 		var resp response
 		switch r.kind {
 		case reqExec:
+			n.ops.Add(1)
 			resp = n.execStmt(r.ts, r.stmt, r.capture)
 		case reqPrepare:
+			if n.cfg.LogForce > 0 {
+				time.Sleep(n.cfg.LogForce)
+			}
 			resp.err = n.prepare(r.ts)
 		case reqCommit:
+			if n.cfg.LogForce > 0 {
+				time.Sleep(n.cfg.LogForce)
+			}
 			n.commit(r.ts)
 		case reqAbort:
 			n.abort(r.ts)

@@ -126,9 +126,13 @@ type Result struct {
 	EdgeCut    int64
 	PartWeight []int64
 
-	// Assignments is the raw per-tuple replica-set map from the graph
-	// phase.
+	// Assignments is the per-tuple replica-set map the pipeline deploys:
+	// the graph phase's placement after write-aware replica pruning
+	// (see PrunedReplicas).
 	Assignments map[workload.TupleID][]int
+	// PrunedReplicas counts write-hot tuples demoted from replicated to
+	// single-home placement (see pruneWriteReplicas).
+	PrunedReplicas int
 	// Lookup is the fine-grained strategy (always built).
 	Lookup *partition.Lookup
 	// Range is the explanation-phase strategy (nil when no explanation was
@@ -204,11 +208,12 @@ func Run(in Input, opts Options) (*Result, error) {
 	res.EdgeCut = cut
 	tuples := g.Intern.Tuples()
 	dense := g.DenseAssignments(parts)
+	var oldSets [][]int
 	if in.Prior != nil {
 		// Incremental mode: rename the fresh labels to disturb the
 		// deployed assignment minimally (a pure permutation; the cut and
 		// balance are untouched).
-		oldSets := make([][]int, len(tuples))
+		oldSets = make([][]int, len(tuples))
 		for d, id := range tuples {
 			oldSets[d] = in.Prior[id]
 		}
@@ -216,9 +221,17 @@ func Run(in Input, opts Options) (*Result, error) {
 		perm := partition.RelabelMap(oldSets, dense, k)
 		partition.ApplyRelabel(parts, perm)
 		dense = g.DenseAssignments(parts)
+	}
+	// PartWeight is the graph phase's balance (per-partition node weight
+	// under the min-cut labels); the replica pruning below adjusts the
+	// deployed replica sets but not the graph labels.
+	res.PartWeight = g.CSR.PartWeights(parts, k)
+	res.PrunedReplicas = pruneWriteReplicas(train, tuples, dense, opts.ReadMostlyWriteFrac)
+	if in.Prior != nil {
+		// Diff against the deployed (post-prune) sets: this is the
+		// movement a redeployment actually performs.
 		res.PriorDiff = partition.AssignmentDiff(oldSets, dense, k)
 	}
-	res.PartWeight = g.CSR.PartWeights(parts, k)
 	res.Assignments = make(map[workload.TupleID][]int, len(dense))
 	for d, set := range dense {
 		res.Assignments[tuples[d]] = set
@@ -305,6 +318,98 @@ func balanced(r *partition.Range, asg map[workload.TupleID][]int, resolve partit
 		}
 	}
 	return true
+}
+
+// pruneWriteReplicas demotes replicated write-hot tuples to a single
+// home, returning how many tuples were demoted. Replication only pays
+// for itself on read-mostly tuples (§2, §4.1): every write to a
+// replicated tuple must reach all replicas, so a write-hot tuple that
+// the balance-pressured min-cut happened to split across partitions
+// turns each of its writers into a distributed transaction. The star
+// expansion prices this (centre-replica edges weigh the update count),
+// but at small graph sizes balance pressure can overrule it; this pass
+// restores the paper's invariant. The home kept is the replica where the
+// plurality of the tuple's transactions already execute, so demotion
+// never increases a transaction's node span.
+func pruneWriteReplicas(train *workload.Trace, tuples []workload.TupleID, dense [][]int, maxWriteFrac float64) int {
+	// Access statistics for replicated tuples only.
+	type stat struct {
+		reads, writes int
+		votes         map[int]int
+	}
+	cand := make(map[workload.TupleID]*stat)
+	for d, parts := range dense {
+		if len(parts) > 1 {
+			cand[tuples[d]] = &stat{}
+		}
+	}
+	if len(cand) == 0 {
+		return 0
+	}
+	byID := make(map[workload.TupleID]int, len(tuples))
+	for d, id := range tuples {
+		byID[id] = d
+	}
+	var hist []int
+	for _, tx := range train.Txns {
+		// The transaction's home vote: the partition holding the
+		// plurality of its singly-assigned tuples.
+		hist = hist[:0]
+		for _, a := range tx.Accesses {
+			d, ok := byID[a.Tuple]
+			if !ok || len(dense[d]) != 1 {
+				continue
+			}
+			p := dense[d][0]
+			for len(hist) <= p {
+				hist = append(hist, 0)
+			}
+			hist[p]++
+		}
+		home, best := -1, 0
+		for p, n := range hist {
+			if n > best {
+				home, best = p, n
+			}
+		}
+		for _, a := range tx.Accesses {
+			st, ok := cand[a.Tuple]
+			if !ok {
+				continue
+			}
+			if a.Write {
+				st.writes++
+			} else {
+				st.reads++
+			}
+			if home >= 0 {
+				if st.votes == nil {
+					st.votes = make(map[int]int)
+				}
+				st.votes[home]++
+			}
+		}
+	}
+	pruned := 0
+	for d, parts := range dense {
+		st, ok := cand[tuples[d]]
+		if !ok {
+			continue
+		}
+		total := st.reads + st.writes
+		if total == 0 || float64(st.writes)/float64(total) <= maxWriteFrac {
+			continue
+		}
+		home, best := parts[0], -1
+		for _, p := range parts {
+			if v := st.votes[p]; v > best {
+				home, best = p, v
+			}
+		}
+		dense[d] = []int{home}
+		pruned++
+	}
+	return pruned
 }
 
 // writeFraction is the fraction of transactions performing any write.

@@ -1,0 +1,274 @@
+package driver
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip checks that every value lands in a bucket whose
+// bounds contain it and whose width honours the 2^-histSubBits relative
+// error guarantee, including at octave edges and int64 extremes.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []uint64{
+		0, 1, 2, histSub - 1, histSub, histSub + 1,
+		2*histSub - 1, 2 * histSub, 2*histSub + 1,
+		63, 64, 65, 127, 128, 129, 1023, 1024, 1025,
+		math.MaxInt64 - 1, math.MaxInt64, math.MaxUint64,
+	}
+	for e := uint(0); e < 64; e++ {
+		v := uint64(1) << e
+		vals = append(vals, v-1, v, v+1)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Uint64())
+	}
+	for _, v := range vals {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d not in bucket %d bounds [%d, %d]", v, idx, lo, hi)
+		}
+		if width := hi - lo; width > 0 && width > lo>>histSubBits {
+			t.Fatalf("bucket %d width %d exceeds lo>>%d = %d", idx, width, histSubBits, lo>>histSubBits)
+		}
+	}
+	// Buckets tile without gaps or overlaps over the first few octaves.
+	prevHi := uint64(0)
+	for idx := 0; idx < 20*histSub; idx++ {
+		lo, hi := bucketBounds(idx)
+		if idx == 0 {
+			if lo != 0 {
+				t.Fatalf("bucket 0 starts at %d", lo)
+			}
+		} else if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, want %d", idx, lo, prevHi+1)
+		}
+		prevHi = hi
+	}
+}
+
+// exactQuantile is the sorted-slice reference: the order statistic at
+// rank ceil(q*n).
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// quantileTolerance is the histogram's guarantee: the estimate lies in
+// the same bucket as the exact order statistic, so it may differ by at
+// most the bucket width (≤ exact >> histSubBits).
+func quantileTolerance(exact time.Duration) time.Duration {
+	return exact>>histSubBits + 1
+}
+
+// TestQuantileVsExactReference pins histogram quantiles against a sorted
+// slice over adversarial distributions: point masses, bimodal mixes,
+// heavy tails, int64-extreme durations, and tiny populations.
+func TestQuantileVsExactReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string][]time.Duration{
+		"single":     {1234567},
+		"two-points": {5, math.MaxInt64},
+		"point-mass": repeatDur(777777, 10000),
+		"bimodal":    append(repeatDur(time.Microsecond, 5000), repeatDur(time.Second, 5000)...),
+		"extremes": {
+			0, 0, 1, 1, math.MaxInt64, math.MaxInt64,
+			math.MaxInt64 - 1, time.Nanosecond, time.Hour * 24 * 365,
+		},
+		"tiny": {3, 1, 2},
+	}
+	uniform := make([]time.Duration, 20000)
+	for i := range uniform {
+		uniform[i] = time.Duration(rng.Int63n(int64(10 * time.Second)))
+	}
+	distributions["uniform"] = uniform
+	heavy := make([]time.Duration, 20000)
+	for i := range heavy {
+		// Exponentially distributed exponent: most mass small, long tail.
+		heavy[i] = time.Duration(rng.Int63n(1 << (1 + rng.Intn(50))))
+	}
+	distributions["heavy-tail"] = heavy
+	negatives := []time.Duration{-5, -1, 0, 3, 9} // clamp to zero
+	distributions["negatives"] = negatives
+
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for name, vals := range distributions {
+		h := &Hist{}
+		for _, v := range vals {
+			h.Record(v)
+		}
+		sorted := make([]time.Duration, len(vals))
+		for i, v := range vals {
+			if v < 0 {
+				v = 0
+			}
+			sorted[i] = v
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if h.Count() != int64(len(vals)) {
+			t.Fatalf("%s: count %d want %d", name, h.Count(), len(vals))
+		}
+		if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("%s: min/max %v/%v want %v/%v", name, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+		for _, q := range qs {
+			exact := exactQuantile(sorted, q)
+			est := h.Quantile(q)
+			tol := quantileTolerance(exact)
+			if diff := est - exact; diff < -tol || diff > tol {
+				t.Errorf("%s: q=%v est=%v exact=%v (tolerance %v)", name, q, est, exact, tol)
+			}
+		}
+	}
+}
+
+func repeatDur(v time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// randomHist builds a histogram over n random durations and returns the
+// recorded values too.
+func randomHist(rng *rand.Rand, n int) (*Hist, []time.Duration) {
+	h := &Hist{}
+	vals := make([]time.Duration, n)
+	for i := range vals {
+		v := time.Duration(rng.Int63n(1 << (1 + rng.Intn(40))))
+		vals[i] = v
+		h.Record(v)
+	}
+	return h, vals
+}
+
+// TestMergeProperties is the merge property test: folding shards is
+// associative and commutative (bucket counts and summary statistics are
+// identical whatever the fold order), and merging equals recording the
+// union directly.
+func TestMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		na, nb, nc := 1+rng.Intn(500), rng.Intn(500), 1+rng.Intn(500)
+		a, va := randomHist(rng, na)
+		b, vb := randomHist(rng, nb) // may be empty-ish
+		c, vc := randomHist(rng, nc)
+
+		// (a+b)+c
+		left := &Hist{}
+		left.Add(a)
+		left.Add(b)
+		left.Add(c)
+		// a+(b+c)
+		bc := &Hist{}
+		bc.Add(b)
+		bc.Add(c)
+		right := &Hist{}
+		right.Add(a)
+		right.Add(bc)
+		if !left.Equal(right) {
+			t.Fatalf("trial %d: merge not associative: %v vs %v", trial, left, right)
+		}
+		// b+a == a+b
+		ab := &Hist{}
+		ab.Add(a)
+		ab.Add(b)
+		ba := &Hist{}
+		ba.Add(b)
+		ba.Add(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("trial %d: merge not commutative", trial)
+		}
+		// Merging equals recording the concatenation directly.
+		direct := &Hist{}
+		for _, vs := range [][]time.Duration{va, vb, vc} {
+			for _, v := range vs {
+				direct.Record(v)
+			}
+		}
+		if !left.Equal(direct) {
+			t.Fatalf("trial %d: merged != direct: %v vs %v", trial, left, direct)
+		}
+	}
+}
+
+// TestShardedMergeMatchesSingle records one value stream striped across
+// shards and checks the merged histogram is identical to a single
+// histogram fed the same stream.
+func TestShardedMergeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSharded(7)
+	single := &Hist{}
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(int64(time.Minute)))
+		s.Shard(i).Record(v)
+		single.Record(v)
+	}
+	if got := s.Merged(); !got.Equal(single) {
+		t.Fatalf("sharded merge differs from single: %v vs %v", got, single)
+	}
+	if s.NumShards() != 7 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	if NewSharded(0).NumShards() != 1 {
+		t.Fatal("NewSharded(0) should clamp to 1 shard")
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from many goroutines; the
+// final count, sum, and extrema must be exact (run under -race in CI).
+func TestConcurrentRecord(t *testing.T) {
+	h := &Hist{}
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))) + 1)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Min() <= 0 || h.Max() >= time.Second+1 || h.Mean() <= 0 {
+		t.Fatalf("summary out of range: min=%v max=%v mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 > p99 || p99 > h.Max() {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v max=%v", p50, p99, h.Max())
+	}
+}
+
+// TestEmptyHist checks the zero-value histogram's degenerate outputs.
+func TestEmptyHist(t *testing.T) {
+	h := &Hist{}
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty hist not all-zero: %v", h)
+	}
+	h.Add(nil) // no-op
+	h.Add(&Hist{})
+	if h.Count() != 0 {
+		t.Fatal("adding empty changed count")
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"schism/internal/cluster"
+	"schism/internal/core"
+	"schism/internal/driver"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workloads"
+)
+
+// The bench experiment is the repo's end-to-end restatement of the
+// paper's headline claim (§3, Fig. 6/7): partitioning quality is not an
+// abstract graph metric — fewer distributed transactions is more
+// throughput and lower latency on a running cluster. It executes the
+// SAME deterministic TPC-C client streams against the same data under
+// four routing strategies:
+//
+//   - schism: the lookup-table strategy the full pipeline (graph →
+//     min-cut → lookup tables) learns from a captured trace;
+//   - hash: hash partitioning on each table's primary key (the paper's
+//     baseline);
+//   - range: the expert manual strategy [21] — warehouse ranges with the
+//     item table replicated;
+//   - replication: full replication (local reads, write-everywhere).
+//
+// Each statement carries both its surrogate-key predicate and its
+// warehouse-attribute predicate, so every strategy routes it as
+// precisely as that strategy can — the comparison isolates placement
+// quality, not parser luck.
+
+// BenchConfig parameterises the strategy-comparison experiment.
+type BenchConfig struct {
+	// Warehouses is the TPC-C scale (default 8).
+	Warehouses int
+	// Partitions is the cluster size k (default 4).
+	Partitions int
+	// Clients is the number of concurrent driver clients (default
+	// 2*Partitions, capped at 2*Warehouses to avoid wait-die retry
+	// storms, as in Fig. 6).
+	Clients int
+	// Warmup and Measure are the driver phases. Zero means "use the
+	// scale default"; a negative Warmup disables the warmup phase.
+	Warmup, Measure time.Duration
+	// ServiceTime is the per-message CPU cost at a node (default 20µs).
+	// NetworkDelay is the one-way wire latency; it defaults to ZERO
+	// because on the paper's LAN the commit-log force (LogForce), not the
+	// wire, dominates the cost of distribution — and sub-millisecond
+	// sleeps overshoot badly enough under load to drown the strategy gap
+	// in scheduler noise. Set it positive to model a slow network.
+	ServiceTime, NetworkDelay time.Duration
+	// Rate, when positive, switches the driver to open-loop arrivals at
+	// this aggregate transactions/second.
+	Rate float64
+	// Workers is the per-node executor parallelism (default 16: queueing
+	// delay inflates lock hold times, which couples into wait-die churn).
+	Workers int
+	// LogForce is the synchronous log-flush latency at prepare and
+	// commit (zero means the default 5ms; negative disables the flush
+	// entirely, isolating message costs). This is the deterministic
+	// price of 2PC the paper measures (§3): a local transaction forces
+	// the log once, a distributed one twice, sequentially, on the
+	// latency path.
+	LogForce time.Duration
+	// LockTimeout bounds lock waits (default 300ms: long stalls feed the
+	// retry storm instead of resolving it).
+	LockTimeout time.Duration
+	// Seed drives trace generation, the pipeline, and the client streams.
+	Seed int64
+	// Strategies restricts the comparison (default all four:
+	// schism, hash, range, replication).
+	Strategies []string
+}
+
+func (c BenchConfig) withDefaults(s Scale) BenchConfig {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 8
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2 * c.Partitions
+		if cap := 2 * c.Warehouses; c.Clients > cap {
+			c.Clients = cap
+		}
+	}
+	// The measurement window must be long relative to the wait-die
+	// retry/backoff dynamics or run-to-run variance swamps the strategy
+	// gap; warmup lets the initial lock-conflict churn settle.
+	if c.Warmup == 0 {
+		c.Warmup = time.Duration(s.scaled(500, 300)) * time.Millisecond
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Measure <= 0 {
+		c.Measure = time.Duration(s.scaled(2000, 1000)) * time.Millisecond
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 20 * time.Microsecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.LogForce == 0 {
+		c.LogForce = 5 * time.Millisecond
+	} else if c.LogForce < 0 {
+		c.LogForce = 0
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 300 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = []string{"schism", "hash", "range", "replication"}
+	}
+	return c
+}
+
+// BenchRow is one strategy's measured line.
+type BenchRow struct {
+	Strategy  string
+	Committed int64
+	Failed    int64
+	TPS       float64
+	P50, P95  time.Duration
+	P99, P999 time.Duration
+	// DistFrac is the fraction of committed transactions spanning >1
+	// node; DistStmtFrac the same per statement.
+	DistFrac     float64
+	DistStmtFrac float64
+	AbortRate    float64
+	Imbalance    float64
+	// RoutingBytes is the routing-metadata footprint (lookup tables
+	// only; predicate and hash strategies are O(rules)).
+	RoutingBytes int64
+}
+
+// BenchResult is the full comparison for one workload.
+type BenchResult struct {
+	Workload string
+	K        int
+	Clients  int
+	// Rate is the open-loop aggregate arrival rate (0 = closed loop).
+	Rate float64
+	Rows []BenchRow
+}
+
+// Row returns the named strategy's row (nil if absent).
+func (r *BenchResult) Row(strategy string) *BenchRow {
+	for i := range r.Rows {
+		if r.Rows[i].Strategy == strategy {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// benchTPCCConfig fixes every TPC-C parameter (TPCCPopulate applies no
+// defaults) at the experiment scale.
+func benchTPCCConfig(cfg BenchConfig, s Scale) workloads.TPCCConfig {
+	return workloads.TPCCConfig{
+		Warehouses:    cfg.Warehouses,
+		Districts:     10,
+		Customers:     s.scaled(30, 10),
+		Items:         s.scaled(300, 100),
+		InitialOrders: 5,
+		// The trace must cover the key space densely enough that the
+		// lookup tables place (rather than hash-scatter) the tuples the
+		// runtime streams touch; untraced tuples are the main source of
+		// avoidable distributed transactions at small scale.
+		Txns: s.scaled(30000, 12000),
+		Seed: cfg.Seed,
+	}
+}
+
+// Bench runs the TPC-C strategy comparison: capture a trace, learn the
+// Schism lookup strategy from it, then drive identical client streams
+// through each strategy's cluster and measure.
+func Bench(cfg BenchConfig, s Scale) (*BenchResult, error) {
+	cfg = cfg.withDefaults(s)
+	k := cfg.Partitions
+	tcfg := benchTPCCConfig(cfg, s)
+	w := workloads.TPCC(tcfg)
+
+	// Learn the Schism strategy from the captured trace (the full
+	// pipeline: graph construction, min-cut partitioning, lookup tables
+	// with replication of read-mostly tuples).
+	res, err := core.Run(core.Input{
+		Trace:      w.Trace,
+		Resolver:   w.Resolver(),
+		KeyColumns: w.KeyColumns,
+		DB:         w.DB,
+	}, core.Options{Partitions: k, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("bench: pipeline: %w", err)
+	}
+
+	strategies := map[string]partition.Strategy{
+		"schism":      res.Lookup,
+		"hash":        &partition.Hash{K: k, KeyColumn: workloads.TPCCKeyColumns()},
+		"range":       workloads.TPCCManual(tcfg, k),
+		"replication": &partition.FullReplication{K: k},
+	}
+
+	out := &BenchResult{Workload: w.Name, K: k, Clients: cfg.Clients, Rate: cfg.Rate}
+	for _, name := range cfg.Strategies {
+		strat, ok := strategies[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown strategy %q", name)
+		}
+		row, err := benchOne(cfg, tcfg, w, name, strat)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// benchOne builds a cluster populated per the strategy's placement and
+// drives it with the shared client streams.
+func benchOne(cfg BenchConfig, tcfg workloads.TPCCConfig, w *workloads.Workload, name string, strat partition.Strategy) (BenchRow, error) {
+	k := strat.NumPartitions()
+	c := cluster.New(cluster.Config{
+		Nodes:          k,
+		WorkersPerNode: cfg.Workers,
+		ServiceTime:    cfg.ServiceTime,
+		NetworkDelay:   cfg.NetworkDelay,
+		LockTimeout:    cfg.LockTimeout,
+		LogForce:       cfg.LogForce,
+	}, func(node int) *storage.Database {
+		return cluster.SplitDatabase(w.DB, strat, node)
+	})
+	defer c.Close()
+	co := cluster.NewCoordinator(c, strat)
+
+	r := driver.Run(co, driver.Config{
+		Clients: cfg.Clients,
+		Warmup:  cfg.Warmup,
+		Measure: cfg.Measure,
+		Seed:    cfg.Seed,
+		Rate:    cfg.Rate,
+	}, workloads.TPCCNewOrderPaymentStream(tcfg))
+	if r.Committed == 0 {
+		return BenchRow{}, fmt.Errorf("bench: strategy %q committed no transactions", name)
+	}
+
+	row := BenchRow{
+		Strategy:     name,
+		Committed:    r.Committed,
+		Failed:       r.Failed,
+		TPS:          r.Throughput(),
+		P50:          r.Latency.Quantile(0.50),
+		P95:          r.Latency.Quantile(0.95),
+		P99:          r.Latency.Quantile(0.99),
+		P999:         r.Latency.Quantile(0.999),
+		DistFrac:     r.DistributedFrac(),
+		DistStmtFrac: r.DistStmtFrac(),
+		AbortRate:    r.AbortRate(),
+		Imbalance:    r.Imbalance(),
+	}
+	if l, ok := strat.(*partition.Lookup); ok {
+		row.RoutingBytes = l.MemoryBytes()
+	}
+	return row, nil
+}
+
+// PrintBench renders the Fig. 6/7-style comparison table.
+func PrintBench(wr io.Writer, r *BenchResult) {
+	mode := "closed-loop clients"
+	if r.Rate > 0 {
+		mode = fmt.Sprintf("open-loop clients at %.0f txn/s offered", r.Rate)
+	}
+	fmt.Fprintf(wr, "Benchmark: %s end-to-end, %d partitions, %d %s\n", r.Workload, r.K, r.Clients, mode)
+	var rows [][]string
+	var base float64
+	for i, row := range r.Rows {
+		if i == 0 {
+			base = row.TPS
+		}
+		speedup := "-"
+		if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", row.TPS/base)
+		}
+		rows = append(rows, []string{
+			row.Strategy,
+			fmt.Sprintf("%.0f", row.TPS),
+			speedup,
+			row.P50.Round(10 * time.Microsecond).String(),
+			row.P95.Round(10 * time.Microsecond).String(),
+			row.P99.Round(10 * time.Microsecond).String(),
+			pct(row.DistFrac),
+			pct(row.DistStmtFrac),
+			pct(row.AbortRate),
+			fmt.Sprintf("%.2f", row.Imbalance),
+			routingBytes(row.RoutingBytes),
+		})
+	}
+	table(wr, []string{"strategy", "tps", "rel", "p50", "p95", "p99", "%dist-txn", "%dist-stmt", "abort", "imbalance", "routing"}, rows)
+}
+
+func routingBytes(b int64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dB", b)
+}

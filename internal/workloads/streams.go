@@ -1,0 +1,517 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schism/internal/cluster"
+	"schism/internal/driver"
+	"schism/internal/zipf"
+)
+
+// This file provides the streaming per-client transaction iterators the
+// benchmark driver consumes (driver.StreamMaker). Unlike the
+// cluster.TxnFunc generators above, a stream draws EVERY random parameter
+// when the transaction is generated and packages them into a driver.Op:
+//
+//   - retries re-execute the same logical transaction instead of
+//     re-drawing a fresh one, so a fixed seed produces byte-identical
+//     per-client operation sequences at any GOMAXPROCS and under any
+//     contention interleaving (each Op carries a Sig describing the drawn
+//     parameters, which the driver folds into per-client hashes);
+//   - statements carry both the surrogate-key predicate (d_key, c_key,
+//     s_key, ...) and the warehouse-attribute predicate (d_w_id, ...), so
+//     the same stream is routable by every strategy under comparison:
+//     lookup tables resolve the key equality, hash resolves the key,
+//     range predicates resolve the warehouse column. That is what makes
+//     an apples-to-apples strategy-comparison experiment possible.
+
+// --- TPC-C ---
+
+// tpccStream yields the runtime TPC-C mix with pre-drawn parameters.
+type tpccStream struct {
+	cfg     TPCCConfig
+	k       tpccKeys
+	rng     *rand.Rand
+	client  int
+	histSeq int64
+	full    bool // five-transaction mix; false = NewOrder/Payment only
+}
+
+// histID returns a deterministic per-client history key: populate never
+// creates history rows and each client owns a disjoint id space, so
+// inserts cannot collide however clients interleave.
+func (s *tpccStream) histID() int64 {
+	s.histSeq++
+	return int64(s.client+1)<<40 | s.histSeq
+}
+
+// TPCCStream returns the five-transaction TPC-C mix (NewOrder 45%,
+// Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%) as a
+// deterministic per-client stream.
+func TPCCStream(cfg TPCCConfig) driver.StreamMaker {
+	return tpccStreamMaker(cfg, true)
+}
+
+// TPCCNewOrderPaymentStream restricts the mix to the two write-heavy
+// transactions that dominate throughput and carry the paper's
+// multi-warehouse distribution behaviour (1% remote stock per order line,
+// 15% remote payments).
+func TPCCNewOrderPaymentStream(cfg TPCCConfig) driver.StreamMaker {
+	return tpccStreamMaker(cfg, false)
+}
+
+func tpccStreamMaker(cfg TPCCConfig, full bool) driver.StreamMaker {
+	cfg = cfg.withDefaults()
+	return func(client int, seed int64) driver.Stream {
+		return &tpccStream{
+			cfg:    cfg,
+			k:      tpccKeys{cfg},
+			rng:    rand.New(rand.NewSource(seed + int64(client)*7919)),
+			client: client,
+			full:   full,
+		}
+	}
+}
+
+// Next implements driver.Stream.
+func (s *tpccStream) Next() driver.Op {
+	if !s.full {
+		if s.rng.Intn(100) < 51 {
+			return s.newOrderOp()
+		}
+		return s.paymentOp()
+	}
+	switch p := s.rng.Intn(100); {
+	case p < 45:
+		return s.newOrderOp()
+	case p < 88:
+		return s.paymentOp()
+	case p < 92:
+		return s.orderStatusOp()
+	case p < 96:
+		return s.deliveryOp()
+	default:
+		return s.stockLevelOp()
+	}
+}
+
+func (s *tpccStream) newOrderOp() driver.Op {
+	cfg, k, rng := s.cfg, s.k, s.rng
+	w := cfg.pickW(rng)
+	d := 1 + rng.Intn(cfg.Districts)
+	c := 1 + rng.Intn(cfg.Customers)
+	nItems := 5 + rng.Intn(11)
+	items := make([]int, nItems)
+	supply := make([]int, nItems)
+	for l := range items {
+		items[l] = rng.Intn(cfg.Items)
+		supply[l] = w
+		if rng.Intn(100) == 0 { // 1% remote supply per line
+			supply[l] = remoteWarehouse(rng, w, cfg.Warehouses)
+		}
+	}
+	sig := fmt.Sprintf("no w%d d%d c%d i%v s%v", w, d, c, items, supply)
+	run := func(t *cluster.Txn) error {
+		dk := k.district(w, d)
+		if _, err := t.Exec(fmt.Sprintf("SELECT * FROM warehouse WHERE w_id = %d", w)); err != nil {
+			return err
+		}
+		if _, err := t.Exec(fmt.Sprintf("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_key = %d AND d_w_id = %d", dk, w)); err != nil {
+			return err
+		}
+		rows, err := t.Exec(fmt.Sprintf("SELECT d_next_o_id FROM district WHERE d_key = %d AND d_w_id = %d", dk, w))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 1 {
+			return fmt.Errorf("tpcc: district %d not found", dk)
+		}
+		next, _ := rows[0][0].AsInt()
+		o := int(next - 1)
+		oKey := k.order(w, d, o)
+		if _, err := t.Exec(fmt.Sprintf("SELECT * FROM customer WHERE c_key = %d AND c_w_id = %d", k.customer(w, d, c), w)); err != nil {
+			return err
+		}
+		if _, err := t.Exec(fmt.Sprintf("INSERT INTO orders (o_key, o_w_id, o_d_id, o_id, o_c_id, o_carrier_id, o_ol_cnt) VALUES (%d, %d, %d, %d, %d, 0, %d)", oKey, w, d, o, c, nItems)); err != nil {
+			return err
+		}
+		if _, err := t.Exec(fmt.Sprintf("INSERT INTO new_order (no_key, no_w_id, no_d_id, no_o_id) VALUES (%d, %d, %d, %d)", oKey, w, d, o)); err != nil {
+			return err
+		}
+		for l := 0; l < nItems; l++ {
+			item, sw := items[l], supply[l]
+			if _, err := t.Exec(fmt.Sprintf("SELECT * FROM item WHERE i_id = %d", item)); err != nil {
+				return err
+			}
+			if _, err := t.Exec(fmt.Sprintf("UPDATE stock SET s_quantity = s_quantity - 1, s_ytd = s_ytd + 1 WHERE s_key = %d AND s_w_id = %d", k.stock(sw, item), sw)); err != nil {
+				return err
+			}
+			if _, err := t.Exec(fmt.Sprintf("INSERT INTO order_line (ol_key, ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id, ol_amount) VALUES (%d, %d, %d, %d, %d, %d, %d, 9.99)",
+				k.orderLine(oKey, l+1), w, d, o, l+1, item, sw)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return driver.Op{Sig: sig, Run: run}
+}
+
+func (s *tpccStream) paymentOp() driver.Op {
+	cfg, k, rng := s.cfg, s.k, s.rng
+	w := cfg.pickW(rng)
+	d := 1 + rng.Intn(cfg.Districts)
+	c := 1 + rng.Intn(cfg.Customers)
+	cw := w
+	if rng.Intn(100) < 15 { // 15% remote customer
+		cw = remoteWarehouse(rng, w, cfg.Warehouses)
+	}
+	h := s.histID()
+	sig := fmt.Sprintf("pay w%d d%d c%d cw%d", w, d, c, cw)
+	run := func(t *cluster.Txn) error {
+		if _, err := t.Exec(fmt.Sprintf("UPDATE warehouse SET w_ytd = w_ytd + 100.00 WHERE w_id = %d", w)); err != nil {
+			return err
+		}
+		if _, err := t.Exec(fmt.Sprintf("UPDATE district SET d_ytd = d_ytd + 100.00 WHERE d_key = %d AND d_w_id = %d", k.district(w, d), w)); err != nil {
+			return err
+		}
+		if _, err := t.Exec(fmt.Sprintf("UPDATE customer SET c_balance = c_balance - 100.00, c_ytd_payment = c_ytd_payment + 100.00 WHERE c_key = %d AND c_w_id = %d", k.customer(cw, d, c), cw)); err != nil {
+			return err
+		}
+		_, err := t.Exec(fmt.Sprintf("INSERT INTO history (h_id, h_w_id, h_amount) VALUES (%d, %d, 100.00)", h, w))
+		return err
+	}
+	return driver.Op{Sig: sig, Run: run}
+}
+
+func (s *tpccStream) orderStatusOp() driver.Op {
+	cfg, k, rng := s.cfg, s.k, s.rng
+	w := cfg.pickW(rng)
+	d := 1 + rng.Intn(cfg.Districts)
+	c := 1 + rng.Intn(cfg.Customers)
+	sig := fmt.Sprintf("os w%d d%d c%d", w, d, c)
+	run := func(t *cluster.Txn) error {
+		if _, err := t.Exec(fmt.Sprintf("SELECT * FROM customer WHERE c_key = %d AND c_w_id = %d", k.customer(w, d, c), w)); err != nil {
+			return err
+		}
+		dk := k.district(w, d)
+		lo, hi := dk*tpccOrderSpace, (dk+1)*tpccOrderSpace-1
+		rows, err := t.Exec(fmt.Sprintf("SELECT * FROM orders WHERE o_w_id = %d AND o_key BETWEEN %d AND %d ORDER BY o_key DESC LIMIT 1", w, lo, hi))
+		if err != nil || len(rows) == 0 {
+			return err
+		}
+		oKey, _ := rows[0][0].AsInt()
+		_, err = t.Exec(fmt.Sprintf("SELECT * FROM order_line WHERE ol_w_id = %d AND ol_key BETWEEN %d AND %d", w, oKey*tpccLineSpace, (oKey+1)*tpccLineSpace-1))
+		return err
+	}
+	return driver.Op{Sig: sig, Run: run}
+}
+
+func (s *tpccStream) deliveryOp() driver.Op {
+	cfg, k, rng := s.cfg, s.k, s.rng
+	w := cfg.pickW(rng)
+	sig := fmt.Sprintf("dl w%d", w)
+	run := func(t *cluster.Txn) error {
+		for d := 1; d <= cfg.Districts; d++ {
+			dk := k.district(w, d)
+			lo, hi := dk*tpccOrderSpace, (dk+1)*tpccOrderSpace-1
+			rows, err := t.Exec(fmt.Sprintf("SELECT * FROM new_order WHERE no_w_id = %d AND no_key BETWEEN %d AND %d ORDER BY no_key LIMIT 1", w, lo, hi))
+			if err != nil {
+				return err
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			oKey, _ := rows[0][0].AsInt()
+			if _, err := t.Exec(fmt.Sprintf("DELETE FROM new_order WHERE no_w_id = %d AND no_key = %d", w, oKey)); err != nil {
+				return err
+			}
+			ordRows, err := t.Exec(fmt.Sprintf("SELECT * FROM orders WHERE o_w_id = %d AND o_key = %d", w, oKey))
+			if err != nil {
+				return err
+			}
+			if _, err := t.Exec(fmt.Sprintf("UPDATE orders SET o_carrier_id = 7 WHERE o_w_id = %d AND o_key = %d", w, oKey)); err != nil {
+				return err
+			}
+			if _, err := t.Exec(fmt.Sprintf("SELECT * FROM order_line WHERE ol_w_id = %d AND ol_key BETWEEN %d AND %d", w, oKey*tpccLineSpace, (oKey+1)*tpccLineSpace-1)); err != nil {
+				return err
+			}
+			cid := int64(1)
+			if len(ordRows) > 0 {
+				cid, _ = ordRows[0][4].AsInt()
+			}
+			if _, err := t.Exec(fmt.Sprintf("UPDATE customer SET c_balance = c_balance + 50.00 WHERE c_key = %d AND c_w_id = %d", k.customer(w, d, int(cid)), w)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return driver.Op{Sig: sig, Run: run}
+}
+
+func (s *tpccStream) stockLevelOp() driver.Op {
+	cfg, k, rng := s.cfg, s.k, s.rng
+	w := cfg.pickW(rng)
+	d := 1 + rng.Intn(cfg.Districts)
+	sig := fmt.Sprintf("sl w%d d%d", w, d)
+	run := func(t *cluster.Txn) error {
+		dk := k.district(w, d)
+		rows, err := t.Exec(fmt.Sprintf("SELECT d_next_o_id FROM district WHERE d_key = %d AND d_w_id = %d", dk, w))
+		if err != nil || len(rows) == 0 {
+			return err
+		}
+		next, _ := rows[0][0].AsInt()
+		loO := next - 20
+		if loO < 0 {
+			loO = 0
+		}
+		lo := (dk*tpccOrderSpace + loO) * tpccLineSpace
+		hi := (dk*tpccOrderSpace + next) * tpccLineSpace
+		lines, err := t.Exec(fmt.Sprintf("SELECT ol_i_id FROM order_line WHERE ol_w_id = %d AND ol_key BETWEEN %d AND %d", w, lo, hi))
+		if err != nil {
+			return err
+		}
+		seen := map[int64]bool{}
+		checked := 0
+		for _, r := range lines {
+			item, _ := r[0].AsInt()
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			if _, err := t.Exec(fmt.Sprintf("SELECT * FROM stock WHERE s_key = %d AND s_w_id = %d", k.stock(w, int(item)), w)); err != nil {
+				return err
+			}
+			if checked++; checked >= 20 {
+				break
+			}
+		}
+		return nil
+	}
+	return driver.Op{Sig: sig, Run: run}
+}
+
+// --- YCSB ---
+
+// YCSBAStream is the runtime YCSB-A mix (50% point reads, 50% point
+// updates, scrambled-Zipf key choice) as a deterministic per-client
+// stream.
+func YCSBAStream(cfg YCSBConfig) driver.StreamMaker {
+	cfg = cfg.withDefaults()
+	return func(client int, seed int64) driver.Stream {
+		rng := rand.New(rand.NewSource(seed + int64(client)*7919))
+		gen := zipf.NewScrambled(rng, uint64(cfg.Rows), zipf.YCSBTheta)
+		return driver.StreamFunc(func() driver.Op {
+			key := int64(gen.Next())
+			if rng.Intn(2) == 0 {
+				return driver.Op{
+					Sig: fmt.Sprintf("u %d", key),
+					Run: func(t *cluster.Txn) error {
+						_, err := t.Exec(fmt.Sprintf("UPDATE usertable SET field0 = 'u' WHERE ycsb_key = %d", key))
+						return err
+					},
+				}
+			}
+			return driver.Op{
+				Sig: fmt.Sprintf("r %d", key),
+				Run: func(t *cluster.Txn) error {
+					_, err := t.Exec(fmt.Sprintf("SELECT * FROM usertable WHERE ycsb_key = %d", key))
+					return err
+				},
+			}
+		})
+	}
+}
+
+// YCSBGroupsStream is the runtime group-transaction mix of the drift
+// experiments (two reads and one update on distinct members of a skewed
+// group) as a deterministic per-client stream.
+func YCSBGroupsStream(cfg YCSBGroupsConfig) driver.StreamMaker {
+	cfg = cfg.withDefaults()
+	groups := cfg.numGroups()
+	return func(client int, seed int64) driver.Stream {
+		rng := rand.New(rand.NewSource(seed + int64(client)*7919))
+		return driver.StreamFunc(func() driver.Op {
+			// Square a uniform draw to warm low group ids (same skew as
+			// YCSBGroupsTxn).
+			u := rng.Float64()
+			g := int(u * u * float64(groups))
+			if g >= groups {
+				g = groups - 1
+			}
+			keys := cfg.groupKeys(g)
+			perm := rng.Perm(len(keys))
+			r1, r2, w := keys[perm[0]], keys[perm[1]], keys[perm[2]]
+			return driver.Op{
+				Sig: fmt.Sprintf("g%d r%d r%d w%d", g, r1, r2, w),
+				Run: func(t *cluster.Txn) error {
+					if _, err := t.Exec(fmt.Sprintf("SELECT * FROM usertable WHERE ycsb_key = %d", r1)); err != nil {
+						return err
+					}
+					if _, err := t.Exec(fmt.Sprintf("SELECT * FROM usertable WHERE ycsb_key = %d", r2)); err != nil {
+						return err
+					}
+					_, err := t.Exec(fmt.Sprintf("UPDATE usertable SET field0 = 'u' WHERE ycsb_key = %d", w))
+					return err
+				},
+			}
+		})
+	}
+}
+
+// --- Epinions ---
+
+// epinionsStream draws the join-free runtime version of the Q1-Q9 social
+// mix. The community graph is generated once (deterministically from the
+// config seed) and shared read-only by every client stream.
+type epinionsStream struct {
+	g   *epinionsGraph
+	rng *rand.Rand
+	uz  *zipf.Zipf
+	iz  *zipf.Zipf
+}
+
+// EpinionsStream is the runtime Epinions mix as a deterministic
+// per-client stream. Runtime joins are not supported by the executor, so
+// Q1/Q2 decompose into their index lookups (trust by source, then
+// reviews by item / users by id).
+func EpinionsStream(cfg EpinionsConfig) driver.StreamMaker {
+	cfg = cfg.withDefaults()
+	g := generateEpinions(cfg, rand.New(rand.NewSource(cfg.Seed)))
+	return func(client int, seed int64) driver.Stream {
+		rng := rand.New(rand.NewSource(seed + int64(client)*7919))
+		return &epinionsStream{
+			g:   g,
+			rng: rng,
+			uz:  zipf.New(rng, uint64(cfg.Users), 0.9),
+			iz:  zipf.New(rng, uint64(cfg.Items), 0.9),
+		}
+	}
+}
+
+// Next implements driver.Stream.
+func (s *epinionsStream) Next() driver.Op {
+	g, rng := s.g, s.rng
+	u := int64(s.uz.Next())
+	itemFor := func() int64 {
+		if rng.Float64() < g.cfg.IntraProb {
+			items := g.commItems[g.userComm[u]]
+			return items[int(s.iz.Next())%len(items)]
+		}
+		return int64(s.iz.Next())
+	}
+	switch p := rng.Intn(100); {
+	case p < 30: // Q1: reviews of item i by users trusted by u
+		i := itemFor()
+		return driver.Op{
+			Sig: fmt.Sprintf("q1 u%d i%d", u, i),
+			Run: func(t *cluster.Txn) error {
+				if _, err := t.Exec(fmt.Sprintf("SELECT * FROM trust WHERE t_source = %d", u)); err != nil {
+					return err
+				}
+				_, err := t.Exec(fmt.Sprintf("SELECT * FROM reviews WHERE r_i_id = %d", i))
+				return err
+			},
+		}
+	case p < 45: // Q2: users trusted by u
+		return driver.Op{
+			Sig: fmt.Sprintf("q2 u%d", u),
+			Run: func(t *cluster.Txn) error {
+				rows, err := t.Exec(fmt.Sprintf("SELECT * FROM trust WHERE t_source = %d", u))
+				if err != nil {
+					return err
+				}
+				for n, row := range rows {
+					if n >= 5 {
+						break
+					}
+					target, _ := row[2].AsInt()
+					if _, err := t.Exec(fmt.Sprintf("SELECT * FROM users WHERE u_id = %d", target)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+	case p < 57: // Q3: all ratings of an item
+		i := itemFor()
+		return driver.Op{
+			Sig: fmt.Sprintf("q3 i%d", i),
+			Run: func(t *cluster.Txn) error {
+				_, err := t.Exec(fmt.Sprintf("SELECT * FROM reviews WHERE r_i_id = %d", i))
+				return err
+			},
+		}
+	case p < 82: // Q4: top reviews of an item
+		i := itemFor()
+		return driver.Op{
+			Sig: fmt.Sprintf("q4 i%d", i),
+			Run: func(t *cluster.Txn) error {
+				_, err := t.Exec(fmt.Sprintf("SELECT * FROM reviews WHERE r_i_id = %d ORDER BY r_rating DESC LIMIT 10", i))
+				return err
+			},
+		}
+	case p < 85: // Q5: top reviews of a user
+		return driver.Op{
+			Sig: fmt.Sprintf("q5 u%d", u),
+			Run: func(t *cluster.Txn) error {
+				_, err := t.Exec(fmt.Sprintf("SELECT * FROM reviews WHERE r_u_id = %d ORDER BY r_rating DESC LIMIT 10", u))
+				return err
+			},
+		}
+	case p < 87: // Q6: update user profile
+		return driver.Op{
+			Sig: fmt.Sprintf("q6 u%d", u),
+			Run: func(t *cluster.Txn) error {
+				_, err := t.Exec(fmt.Sprintf("UPDATE users SET u_rep = u_rep + 1 WHERE u_id = %d", u))
+				return err
+			},
+		}
+	case p < 90: // Q7: update item metadata
+		i := itemFor()
+		return driver.Op{
+			Sig: fmt.Sprintf("q7 i%d", i),
+			Run: func(t *cluster.Txn) error {
+				_, err := t.Exec(fmt.Sprintf("UPDATE items SET i_title = 'x' WHERE i_id = %d", i))
+				return err
+			},
+		}
+	case p < 97: // Q8: update one of u's reviews (skip users without any)
+		if rids := g.byUser[u]; len(rids) > 0 {
+			rid := rids[rng.Intn(len(rids))]
+			rating := 1 + rng.Intn(5)
+			return driver.Op{
+				Sig: fmt.Sprintf("q8 r%d v%d", rid, rating),
+				Run: func(t *cluster.Txn) error {
+					_, err := t.Exec(fmt.Sprintf("UPDATE reviews SET r_rating = %d WHERE r_id = %d", rating, rid))
+					return err
+				},
+			}
+		}
+		return s.readUserOp(u)
+	default: // Q9: update one of u's trust edges (skip users without any)
+		if tids := g.bySource[u]; len(tids) > 0 {
+			tid := tids[rng.Intn(len(tids))]
+			v := rng.Intn(2)
+			return driver.Op{
+				Sig: fmt.Sprintf("q9 t%d v%d", tid, v),
+				Run: func(t *cluster.Txn) error {
+					_, err := t.Exec(fmt.Sprintf("UPDATE trust SET t_value = %d WHERE t_id = %d", v, tid))
+					return err
+				},
+			}
+		}
+		return s.readUserOp(u)
+	}
+}
+
+// readUserOp is the fallback for write ops whose subject has no edges.
+func (s *epinionsStream) readUserOp(u int64) driver.Op {
+	return driver.Op{
+		Sig: fmt.Sprintf("ru u%d", u),
+		Run: func(t *cluster.Txn) error {
+			_, err := t.Exec(fmt.Sprintf("SELECT * FROM users WHERE u_id = %d", u))
+			return err
+		},
+	}
+}

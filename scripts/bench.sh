@@ -1,27 +1,47 @@
 #!/usr/bin/env bash
-# Runs the performance-tracked microbenchmarks — graph construction
+# Runs the performance-tracked benchmarks — graph construction
 # (graph.Build, metis.NewGraph), the multilevel partitioner
 # (BenchmarkPartKway on the TPCC-50W-scale graph, BenchmarkPartKwaySolver
 # steady-state), the live incremental-repartitioning cycle
 # (BenchmarkLiveRepartition), the explanation-phase decision-tree trainer
-# (BenchmarkExplain: columnar vs the seed implementation), and the routing
+# (BenchmarkExplain: columnar vs the seed implementation), the routing
 # hot path (BenchmarkRouterLocate: HashIndex vs the compressed Compact /
-# Runs representations, with per-table memory as table-bytes) — with
-# -benchmem and records the results as JSON, so the perf trajectory is
-# tracked PR over PR: BENCH_1.json for PR 1, BENCH_2.json for PR 2, and so
-# on.
+# Runs representations, with per-table memory as table-bytes), the
+# benchmark driver's histogram/record path and end-to-end overhead
+# (BenchmarkHist*, BenchmarkDriverTPCC), and the strategy-comparison
+# experiment (BenchmarkBenchTPCC: the same TPC-C client streams under
+# schism vs hash vs range vs full-replication routing) — with -benchmem,
+# recording the results as JSON so the perf trajectory is tracked PR
+# over PR: BENCH_1.json for PR 1, BENCH_2.json for PR 2, and so on.
+#
+# JSON schema (BENCH_5.json and later): a single array of objects, one
+# per benchmark line,
+#   {
+#     "name":          "BenchmarkBenchTPCC-8",   // bench name + GOMAXPROCS
+#     "iters":         3,                        // b.N
+#     "ns_per_op":     123456.0,                 // null if absent
+#     "bytes_per_op":  789,                      // -benchmem, null if absent
+#     "allocs_per_op": 12,                       // -benchmem, null if absent
+#     "metrics": {                               // custom b.ReportMetric units,
+#       "schism-tps": 601.0,                     // omitted when none; the bench
+#       "hash-tps": 339.0,                       // experiment reports, per
+#       "schism-p50-ms": 9.2,                    // strategy: <s>-tps, <s>-p50-ms,
+#       "schism-dist-pct": 9.2,                  // <s>-p99-ms, <s>-dist-pct, and
+#       "schism-routing-bytes": 79213            // schism-routing-bytes
+#     }
+#   }
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=10x scripts/bench.sh   # more iterations for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_5.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild' -benchmem \
-    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup | tee "$TXT"
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup ./internal/driver ./internal/experiments | tee "$TXT"
 
 awk '
 BEGIN { print "["; first = 1 }
@@ -32,7 +52,7 @@ BEGIN { print "["; first = 1 }
         else if ($i == "B/op")      bop = $(i-1)
         else if ($i == "allocs/op") aop = $(i-1)
         else if (i > 3 && $i !~ /^[0-9.+-]/) {
-            # custom b.ReportMetric units (edgecut, table-bytes, leaves, ...)
+            # custom b.ReportMetric units (edgecut, table-bytes, tps, ...)
             if (extra != "") extra = extra ", "
             extra = extra "\"" $i "\": " $(i-1)
         }
