@@ -251,7 +251,9 @@ func TestDrainDuringTraffic(t *testing.T) {
 	}
 	for i := 0; i < 5; i++ {
 		start := time.Now()
-		co.Drain()
+		if err := co.Drain(); err != nil {
+			t.Fatalf("Drain with all nodes up: %v", err)
+		}
 		if d := time.Since(start); d > 5*time.Second {
 			t.Fatalf("Drain took %v with traffic running", d)
 		}

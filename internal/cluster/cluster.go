@@ -9,6 +9,19 @@
 // aggregate per-transaction work (Fig. 1), and lock contention on hot rows
 // bounds throughput when a partition hosts too few warehouses (Fig. 6).
 // Both emerge from real locking and real message counting.
+//
+// Nodes can fail. Each node owns a write-ahead log (package wal) that
+// records before-images, prepare votes with their write-sets, and
+// commit/abort decisions; Crash discards a node's volatile state and
+// Restart reconstructs it by WAL replay — losers undone from their
+// before-images, prepared-but-undecided transactions re-installed as
+// in-doubt and resolved by the 2PC termination protocol against the
+// coordinator's decision record (presumed abort: no record means
+// abort). FaultPlan injects crashes and pauses at deterministic
+// protocol instants (TriggerPoint), so seeded fault schedules replay
+// identically; chaos_test.go asserts the package's invariants — money
+// conserved, no half-committed transaction, Drain terminates — under
+// those schedules. See DESIGN.md, "Fault model and recovery".
 package cluster
 
 import (
@@ -49,6 +62,20 @@ type Config struct {
 	// sleeps rather than spins (IO wait, not CPU). Zero (the default)
 	// disables it.
 	LogForce time.Duration
+	// RPCTimeout bounds the coordinator's wait for any single 2PC
+	// protocol reply (prepare/commit/abort; statement execution is
+	// exempt, since lock waits legitimately run to LockTimeout). Zero
+	// (the default) disables the bound — correct for a fault-free
+	// cluster, where every node eventually answers. Fault-injection
+	// tests set it so a paused node surfaces as ErrRPCTimeout instead of
+	// wedging the commit path.
+	RPCTimeout time.Duration
+	// CommitRetries is how many extra delivery rounds the coordinator
+	// gives participants that fail to ack a commit decision before it
+	// gives up and leaves the decision record in place for recovery to
+	// find (default 3). The decision itself is already taken; this only
+	// tunes delivery persistence.
+	CommitRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
+	if c.CommitRetries <= 0 {
+		c.CommitRetries = 3
+	}
 	return c
 }
 
@@ -69,6 +99,7 @@ type Cluster struct {
 	cfg   Config
 	nodes []*Node
 	clock txn.Clock
+	hooks hookSlot
 
 	mu     sync.Mutex
 	closed bool
@@ -87,7 +118,7 @@ func New(cfg Config, builddb func(node int) *storage.Database) *Cluster {
 		if db == nil {
 			db = storage.NewDatabase()
 		}
-		c.nodes = append(c.nodes, newNode(i, cfg, db))
+		c.nodes = append(c.nodes, newNode(i, cfg, db, &c.hooks))
 	}
 	return c
 }

@@ -32,6 +32,15 @@ type Coordinator struct {
 
 	actMu  sync.Mutex
 	active map[txn.TS]struct{}
+
+	// commits is the coordinator's durable decision record: a transaction
+	// appears here, with its participant set, from the instant the commit
+	// decision is taken (after all yes votes, before the commit fan-out)
+	// until every participant has acked its commit. The 2PC termination
+	// protocol (Decision) reads it when a recovering participant resolves
+	// an in-doubt transaction.
+	decMu   sync.Mutex
+	commits map[txn.TS][]int
 }
 
 // NewCoordinator attaches a router with the given strategy to the cluster.
@@ -41,7 +50,57 @@ func NewCoordinator(c *Cluster, strategy partition.Strategy) *Coordinator {
 		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d nodes",
 			strategy.NumPartitions(), c.NumNodes()))
 	}
-	return &Coordinator{c: c, strategy: strategy, active: make(map[txn.TS]struct{})}
+	return &Coordinator{
+		c: c, strategy: strategy,
+		active:  make(map[txn.TS]struct{}),
+		commits: make(map[txn.TS][]int),
+	}
+}
+
+func (co *Coordinator) recordCommit(ts txn.TS, nodes []int) {
+	co.decMu.Lock()
+	co.commits[ts] = nodes
+	co.decMu.Unlock()
+}
+
+func (co *Coordinator) forgetCommit(ts txn.TS) {
+	co.decMu.Lock()
+	delete(co.commits, ts)
+	co.decMu.Unlock()
+}
+
+// Decision answers the 2PC termination protocol for a recovering
+// participant: Commit if a commit decision naming that node is on
+// record, Pending while the transaction is still in flight (the
+// coordinator may yet decide either way), and otherwise Abort —
+// presumed abort: the coordinator records every commit decision before
+// acting on it, so no record and no activity means the transaction did
+// not and will not commit.
+//
+// The recorded participant set matters because wait-die retries reuse
+// the timestamp: a commit record whose participants do not include the
+// asking node belongs to a later attempt of the transaction, so the
+// node's in-doubt state is from an earlier, aborted attempt and must
+// roll back.
+func (co *Coordinator) Decision(ts txn.TS, node int) Decision {
+	co.decMu.Lock()
+	participants, committed := co.commits[ts]
+	co.decMu.Unlock()
+	if committed {
+		for _, p := range participants {
+			if p == node {
+				return DecisionCommit
+			}
+		}
+		return DecisionAbort
+	}
+	co.actMu.Lock()
+	_, live := co.active[ts]
+	co.actMu.Unlock()
+	if live {
+		return DecisionPending
+	}
+	return DecisionAbort
 }
 
 // register/deregister maintain the active-transaction set Drain waits on.
@@ -69,7 +128,16 @@ func (co *Coordinator) deregister(ts txn.TS) {
 // the wait per transaction is bounded: past ~2x the lock timeout the
 // transaction cannot be holding any lock wait and is treated as leaked —
 // it is evicted from the active set and skipped.
-func (co *Coordinator) Drain() {
+//
+// Drain fails fast (instead of blocking toward the leak deadline) when
+// any node is crashed or paused: transactions queued on an unavailable
+// node cannot finish until it returns, so waiting is pointless and — for
+// the migration executor's epoch barrier — misleading. The check repeats
+// each poll so a node failing mid-drain also aborts the wait.
+func (co *Coordinator) Drain() error {
+	if !co.c.allRunning() {
+		return fmt.Errorf("%w: nodes %v unavailable", ErrDrainAborted, co.c.Unavailable())
+	}
 	co.actMu.Lock()
 	snap := make([]txn.TS, 0, len(co.active))
 	for ts := range co.active {
@@ -85,6 +153,9 @@ func (co *Coordinator) Drain() {
 			if !live {
 				break
 			}
+			if !co.c.allRunning() {
+				return fmt.Errorf("%w: nodes %v unavailable", ErrDrainAborted, co.c.Unavailable())
+			}
 			if time.Now().After(deadline) {
 				co.deregister(ts)
 				break
@@ -92,6 +163,7 @@ func (co *Coordinator) Drain() {
 			time.Sleep(100 * time.Microsecond)
 		}
 	}
+	return nil
 }
 
 // Cluster returns the cluster this coordinator drives (the benchmark
@@ -139,6 +211,7 @@ type StmtObserver func(table string, write bool, nodes int, d time.Duration)
 type Txn struct {
 	co      *Coordinator
 	ts      txn.TS
+	epoch   uint64 // attempt number; wait-die retries bump it (see request)
 	strat   partition.Strategy
 	touched map[int]bool
 	failed  bool
@@ -180,7 +253,7 @@ func (co *Coordinator) begin(system bool) *Txn {
 		capture = nil
 	}
 	t := &Txn{
-		co: co, ts: co.c.clock.Next(), strat: strat, capture: capture, system: system,
+		co: co, ts: co.c.clock.Next(), epoch: 1, strat: strat, capture: capture, system: system,
 		touched: make(map[int]bool),
 		rng:     rand.New(rand.NewSource(int64(co.c.clock.Next()))),
 	}
@@ -200,6 +273,7 @@ func (t *Txn) reset() {
 	}
 	t.touched = make(map[int]bool)
 	t.failed = false
+	t.epoch++ // new attempt: participants must not honour the old one's messages
 	t.accs = t.accs[:0]
 	t.stmtLocal, t.stmtDist = 0, 0
 	t.co.register(t.ts)
@@ -282,6 +356,14 @@ func (t *Txn) execOn(stmt sqlparse.Statement, table string, write bool, targets 
 	} else {
 		t.stmtLocal++
 	}
+	if t.system {
+		// Live migration runs as system transactions; fire the fault
+		// trigger per copy target so chaos schedules can kill a node in
+		// the middle of a tuple copy.
+		for _, nid := range targets {
+			t.co.c.hooks.fire(DuringMigrationCopy, nid)
+		}
+	}
 	start := time.Time{}
 	if t.observer != nil {
 		start = time.Now()
@@ -331,7 +413,11 @@ func (t *Txn) pickReplica(single []int) int {
 }
 
 // fanout sends a request to each target node in parallel and waits for all
-// replies (including their simulated network delay).
+// replies (including their simulated network delay). With RPCTimeout set,
+// a node that does not answer within the bound gets an ErrRPCTimeout
+// response instead — note the request stays queued and MAY still execute
+// later (a paused node drains its queue on Resume), so a timed-out
+// request's outcome is unknown, not "not executed".
 func (t *Txn) fanout(kind reqKind, stmt sqlparse.Statement, targets []int) []response {
 	type slot struct {
 		reply chan response
@@ -339,15 +425,50 @@ func (t *Txn) fanout(kind reqKind, stmt sqlparse.Statement, targets []int) []res
 	slots := make([]slot, len(targets))
 	for i, nid := range targets {
 		slots[i].reply = make(chan response, 1)
-		r := &request{kind: kind, ts: t.ts, stmt: stmt, capture: t.capture != nil, reply: slots[i].reply}
+		r := &request{kind: kind, ts: t.ts, epoch: t.epoch, stmt: stmt, capture: t.capture != nil, reply: slots[i].reply}
 		t.touched[nid] = true
 		t.co.c.nodes[nid].send(r)
 	}
 	out := make([]response, len(targets))
+	rpcTimeout := t.co.c.cfg.RPCTimeout
+	if kind == reqExec {
+		// Statements may legitimately block in lock waits up to the lock
+		// timeout; the RPC bound covers only the 2PC protocol messages,
+		// which are fast on any live node.
+		rpcTimeout = 0
+	}
+	if rpcTimeout <= 0 {
+		for i := range slots {
+			resp := <-slots[i].reply
+			waitNet(resp.sentAt, t.co.c.cfg.NetworkDelay)
+			out[i] = resp
+		}
+		return out
+	}
+	timer := time.NewTimer(rpcTimeout)
+	defer timer.Stop()
+	expired := false
 	for i := range slots {
-		resp := <-slots[i].reply
-		waitNet(resp.sentAt, t.co.c.cfg.NetworkDelay)
-		out[i] = resp
+		if expired {
+			// The shared deadline already passed; collect whatever replies
+			// are in hand without waiting further.
+			select {
+			case resp := <-slots[i].reply:
+				waitNet(resp.sentAt, t.co.c.cfg.NetworkDelay)
+				out[i] = resp
+			default:
+				out[i] = response{err: fmt.Errorf("cluster: node %d: %w", targets[i], ErrRPCTimeout)}
+			}
+			continue
+		}
+		select {
+		case resp := <-slots[i].reply:
+			waitNet(resp.sentAt, t.co.c.cfg.NetworkDelay)
+			out[i] = resp
+		case <-timer.C:
+			expired = true
+			out[i] = response{err: fmt.Errorf("cluster: node %d: %w", targets[i], ErrRPCTimeout)}
+		}
 	}
 	return out
 }
@@ -367,10 +488,28 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	if len(nodes) == 1 {
-		t.fanout(reqCommit, nil, nodes)
+		resp := t.fanout(reqCommit, nil, nodes)
+		if err := resp[0].err; err != nil {
+			if errors.Is(err, ErrNodeDown) {
+				// The node refused the commit without processing it, so the
+				// transaction did not commit and its writes die with the
+				// crash (recovery rolls them back). Safe to retry whole.
+				return fmt.Errorf("cluster: commit refused by node %d: %w", nodes[0], err)
+			}
+			// Timeout: the commit is queued and may still apply when the
+			// node comes back. The outcome is unknown — deliberately NOT
+			// retryable, or a later-applying queued commit plus a re-run
+			// would double-execute the transaction.
+			return fmt.Errorf("cluster: commit outcome unknown on node %d: %v", nodes[0], err)
+		}
 		t.captured()
 		return nil
 	}
+	// Two-phase commit. Prepare round: any no vote, refusal or timeout
+	// aborts — presumed abort needs no decision record for that, and a
+	// participant whose vote was lost in flight aborts itself at
+	// recovery (or via the abort fan-out below, which queues behind any
+	// still-pending prepare on a stalled node).
 	votes := t.fanout(reqPrepare, nil, nodes)
 	for _, v := range votes {
 		if v.err != nil {
@@ -378,9 +517,45 @@ func (t *Txn) Commit() error {
 			return fmt.Errorf("cluster: participant voted no: %w", v.err)
 		}
 	}
-	t.fanout(reqCommit, nil, nodes)
+	// Every participant voted yes: record the commit decision BEFORE
+	// telling anyone — from this instant the transaction is committed,
+	// and a participant that crashes before hearing so will learn it
+	// from this record via the termination protocol. The record is only
+	// garbage-collected once every participant acked; delivery failures
+	// bound-retry and then leave the record in place.
+	t.co.recordCommit(t.ts, nodes)
+	if t.deliverCommit(nodes) {
+		t.co.forgetCommit(t.ts)
+	}
 	t.captured()
 	return nil
+}
+
+// deliverCommit fans the commit decision out, re-sending to participants
+// that failed to ack (crashed mid-delivery, RPC timeout) a bounded
+// number of times. It reports whether every participant acked — the
+// caller keeps the decision record otherwise, so stragglers can still
+// learn the outcome during recovery. The transaction's fate is already
+// sealed; this is pure delivery.
+func (t *Txn) deliverCommit(nodes []int) bool {
+	pending := nodes
+	for attempt := 0; ; attempt++ {
+		resps := t.fanout(reqCommit, nil, pending)
+		var failed []int
+		for i, r := range resps {
+			if r.err != nil {
+				failed = append(failed, pending[i])
+			}
+		}
+		if len(failed) == 0 {
+			return true
+		}
+		if attempt >= t.co.c.cfg.CommitRetries {
+			return false
+		}
+		pending = failed
+		time.Sleep(retryBackoff(attempt, t.rng))
+	}
 }
 
 // captured delivers the committed transaction's access set to the capture
@@ -426,10 +601,18 @@ func isWrite(stmt sqlparse.Statement) bool {
 	return false
 }
 
-// Retryable reports whether an error is a concurrency-control abort that
-// the client should retry (wait-die or lock timeout).
+// Retryable reports whether an error is an abort the client should
+// retry: a concurrency-control abort (wait-die or lock timeout), a
+// statement or vote refused by a crashed node (the transaction rolled
+// back; the retry succeeds once the node recovers or routing avoids
+// it), a lock manager shut down by a crash mid-wait, or a prepare-round
+// RPC timeout (presumed abort: no commit record exists, so the stalled
+// participant's queued vote is answered by the queued abort). A COMMIT
+// round timeout is deliberately not retryable — see Commit.
 func Retryable(err error) bool {
-	return errors.Is(err, txn.ErrDie) || errors.Is(err, txn.ErrTimeout)
+	return errors.Is(err, txn.ErrDie) || errors.Is(err, txn.ErrTimeout) ||
+		errors.Is(err, txn.ErrShutdown) || errors.Is(err, ErrNodeDown) ||
+		errors.Is(err, ErrRPCTimeout)
 }
 
 // TxnResult summarises one transaction driven through the retry loop.
@@ -499,12 +682,7 @@ func (co *Coordinator) runTxn(t *Txn, fn func(*Txn) error) (TxnResult, error) {
 		// toward the holder's timescale turns a retry storm into roughly
 		// one retry per conflict; the victim keeps its timestamp, so it
 		// still ages and eventually wins.
-		shift := attempt
-		if shift > 7 {
-			shift = 7
-		}
-		base := (100 * time.Microsecond) << shift
-		time.Sleep(base/2 + time.Duration(t.rng.Int63n(int64(base))))
+		time.Sleep(retryBackoff(attempt, t.rng))
 		t.reset()
 	}
 	t.co.deregister(t.ts)

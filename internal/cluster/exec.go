@@ -235,6 +235,9 @@ func (n *Node) execUpdate(ts txn.TS, st *txnState, s *sqlparse.Update, capture b
 			n.latch.Unlock()
 			return response{err: err}
 		}
+		// Write-ahead: the before-image must be in the log before the row
+		// changes, or a crash between the two could lose the undo.
+		n.wal.AppendUpdate(uint64(ts), s.Table, k, row, true)
 		st.undo = append(st.undo, undoRec{table: s.Table, key: k, oldRow: row})
 		if err := tbl.Update(k, newRow); err != nil {
 			n.latch.Unlock()
@@ -307,8 +310,11 @@ func (n *Node) execInsert(ts txn.TS, st *txnState, s *sqlparse.Insert, capture b
 	n.latch.Lock()
 	defer n.latch.Unlock()
 	if err := tbl.Insert(row); err != nil {
+		// No WAL record for a failed insert: logging one first would make
+		// recovery delete the pre-existing row that caused the conflict.
 		return response{err: err}
 	}
+	n.wal.AppendUpdate(uint64(ts), s.Table, key, nil, false)
 	st.undo = append(st.undo, undoRec{table: s.Table, key: key, oldRow: nil})
 	resp := response{n: 1}
 	if capture {
@@ -331,6 +337,7 @@ func (n *Node) execDelete(ts txn.TS, st *txnState, s *sqlparse.Delete, capture b
 		n.latch.Lock()
 		row, ok := tbl.Get(k)
 		if ok && evalRow(s.Where, tbl.Schema, row) {
+			n.wal.AppendUpdate(uint64(ts), s.Table, k, row, true)
 			st.undo = append(st.undo, undoRec{table: s.Table, key: k, oldRow: row})
 			tbl.Delete(k)
 			count++

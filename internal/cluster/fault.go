@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors surfaced by fault injection and the RPC layer.
+var (
+	// ErrNodeDown is wrapped into every reply from a crashed (or still
+	// recovering) node: the request was refused, not processed, so the
+	// caller may safely retry once the node is back.
+	ErrNodeDown = errors.New("cluster: node down")
+	// ErrRPCTimeout means a node did not reply within Config.RPCTimeout.
+	// Unlike ErrNodeDown the request MAY still execute later (e.g. the
+	// node is paused and will drain its queue on Resume), so the
+	// coordinator must treat the outcome as unknown, not as a clean
+	// refusal.
+	ErrRPCTimeout = errors.New("cluster: rpc timeout")
+	// ErrDrainAborted means Drain gave up because a node was crashed or
+	// paused: transactions queued there cannot finish, so the barrier
+	// cannot be reached.
+	ErrDrainAborted = errors.New("cluster: drain aborted")
+)
+
+// TriggerPoint names a deterministic instant in the transaction and
+// migration lifecycle where a fault hook fires. The 2PC points bracket
+// the protocol's durable steps, which is where a crash is interesting:
+// before the vote is durable (lost vote — presumed abort), after the yes
+// vote is acked (in-doubt transaction), and before the commit record is
+// written (decided globally, not yet locally).
+type TriggerPoint uint8
+
+// Trigger points.
+const (
+	// BeforePrepareAck fires on a participant after a prepare request
+	// arrives but before the vote is logged or acked.
+	BeforePrepareAck TriggerPoint = iota
+	// AfterPrepareAck fires on a participant after its yes vote is
+	// durable and the ack has been sent.
+	AfterPrepareAck
+	// BeforeCommitAck fires on a participant after a commit request
+	// arrives but before the commit record is logged or acked.
+	BeforeCommitAck
+	// DuringMigrationCopy fires on the coordinator for each target of a
+	// live-migration (system transaction) statement, before it is sent.
+	DuringMigrationCopy
+
+	numTriggerPoints = 4
+)
+
+func (p TriggerPoint) String() string {
+	switch p {
+	case BeforePrepareAck:
+		return "before-prepare-ack"
+	case AfterPrepareAck:
+		return "after-prepare-ack"
+	case BeforeCommitAck:
+		return "before-commit-ack"
+	case DuringMigrationCopy:
+		return "during-migration-copy"
+	}
+	return "invalid"
+}
+
+// FaultHook observes a trigger point on a node. Hooks run synchronously
+// on the worker (or coordinator) goroutine that hit the trigger, so a
+// hook that calls Crash or Pause injects the fault at exactly that
+// instant of the protocol.
+type FaultHook func(point TriggerPoint, node int)
+
+// hookSlot holds the cluster-wide fault hook. A nil pointer is the
+// common case and costs one atomic load per trigger point.
+type hookSlot struct {
+	fn atomic.Pointer[FaultHook]
+}
+
+func (h *hookSlot) fire(p TriggerPoint, node int) {
+	if fn := h.fn.Load(); fn != nil {
+		(*fn)(p, node)
+	}
+}
+
+// SetFaultHook installs (or, with nil, removes) the cluster-wide fault
+// hook fired at every trigger point. Tests install hooks that crash or
+// pause nodes at chosen protocol instants.
+func (c *Cluster) SetFaultHook(h FaultHook) {
+	if h == nil {
+		c.hooks.fn.Store(nil)
+		return
+	}
+	c.hooks.fn.Store(&h)
+}
+
+// Crash kills node i: its lock table, participant states and in-flight
+// work are lost, and every request is refused with ErrNodeDown until
+// Restart. The storage image and the WAL survive — but note that until
+// recovery runs, the image may contain writes of transactions that will
+// be rolled back. Crash of an already crashed (or recovering) node is a
+// no-op. Blocked lock waiters on the node are failed immediately so its
+// workers unwind without waiting out their timeouts.
+func (c *Cluster) Crash(i int) {
+	n := c.nodes[i]
+	n.pmu.Lock()
+	if n.down() {
+		n.pmu.Unlock()
+		return
+	}
+	n.status.Store(int32(statusCrashed))
+	if n.pauseCh != nil {
+		close(n.pauseCh) // a paused node can crash; wake parked workers
+		n.pauseCh = nil
+	}
+	n.pmu.Unlock()
+	n.locks.Close()
+}
+
+// Pause stalls node i, modelling a network partition or a long GC/IO
+// stall: requests queue (and time out at the coordinator if RPCTimeout
+// is set) but nothing is lost, and Resume lets the node drain its queue
+// exactly where it left off. Pausing a node that is not running is a
+// no-op.
+func (c *Cluster) Pause(i int) {
+	n := c.nodes[i]
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if n.getStatus() != statusRunning {
+		return
+	}
+	n.status.Store(int32(statusPaused))
+	n.pauseCh = make(chan struct{})
+}
+
+// Resume wakes a paused node. No-op otherwise.
+func (c *Cluster) Resume(i int) {
+	n := c.nodes[i]
+	n.pmu.Lock()
+	defer n.pmu.Unlock()
+	if n.getStatus() != statusPaused {
+		return
+	}
+	n.status.Store(int32(statusRunning))
+	if n.pauseCh != nil {
+		close(n.pauseCh)
+		n.pauseCh = nil
+	}
+}
+
+// NodeRunning reports whether node i is serving requests.
+func (c *Cluster) NodeRunning(i int) bool {
+	return c.nodes[i].getStatus() == statusRunning
+}
+
+// allRunning is the allocation-free check Drain polls.
+func (c *Cluster) allRunning() bool {
+	for _, n := range c.nodes {
+		if n.getStatus() != statusRunning {
+			return false
+		}
+	}
+	return true
+}
+
+// Unavailable lists the nodes currently not serving requests (paused,
+// crashed or recovering).
+func (c *Cluster) Unavailable() []int {
+	var out []int
+	for i, n := range c.nodes {
+		if n.getStatus() != statusRunning {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Fault is one entry of a FaultPlan schedule: when the trigger point
+// fires on the node for the After-th time, inject the fault.
+type Fault struct {
+	Point TriggerPoint
+	Node  int
+	// After is the 1-based occurrence of (Point, Node) that fires the
+	// fault (0 means the first occurrence).
+	After int
+	// Pause injects a pause instead of a crash.
+	Pause bool
+	// RestartAfter schedules an automatic Restart (or Resume, for
+	// pauses) this long after the fault fires; zero leaves the node down
+	// until the test restarts it.
+	RestartAfter time.Duration
+}
+
+// FaultStats summarises what a FaultPlan actually injected.
+type FaultStats struct {
+	Crashes  int
+	Pauses   int
+	Restarts int
+	Resumes  int
+	// Recovery aggregates the RecoveryStats of every automatic restart.
+	Recovery RecoveryStats
+}
+
+// FaultPlan installs a deterministic fault schedule on a coordinator's
+// cluster: each Fault fires at an exact protocol instant (trigger point
+// x node x occurrence), so a seeded schedule replays identically. Close
+// uninstalls the hook and waits for scheduled restarts to finish.
+type FaultPlan struct {
+	co *Coordinator
+
+	mu      sync.Mutex
+	pending []Fault
+	counts  map[[2]int]int
+	stats   FaultStats
+	errs    []error
+
+	wg sync.WaitGroup
+}
+
+// NewFaultPlan installs the schedule. Only one fault hook can be
+// installed at a time; the plan owns the slot until Close.
+func NewFaultPlan(co *Coordinator, faults ...Fault) *FaultPlan {
+	p := &FaultPlan{co: co, pending: append([]Fault(nil), faults...), counts: make(map[[2]int]int)}
+	co.c.SetFaultHook(p.hook)
+	return p
+}
+
+func (p *FaultPlan) hook(point TriggerPoint, node int) {
+	p.mu.Lock()
+	k := [2]int{int(point), node}
+	p.counts[k]++
+	occ := p.counts[k]
+	var fault *Fault
+	for i := range p.pending {
+		f := &p.pending[i]
+		after := f.After
+		if after <= 0 {
+			after = 1
+		}
+		if f.Point == point && f.Node == node && after == occ {
+			fault = f
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			break
+		}
+	}
+	if fault == nil {
+		p.mu.Unlock()
+		return
+	}
+	f := *fault
+	if f.Pause {
+		p.stats.Pauses++
+	} else {
+		p.stats.Crashes++
+	}
+	p.mu.Unlock()
+
+	if f.Pause {
+		p.co.c.Pause(f.Node)
+	} else {
+		p.co.c.Crash(f.Node)
+	}
+	if f.RestartAfter <= 0 {
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		time.Sleep(f.RestartAfter)
+		if f.Pause {
+			p.co.c.Resume(f.Node)
+			p.mu.Lock()
+			p.stats.Resumes++
+			p.mu.Unlock()
+			return
+		}
+		rs, err := p.co.RestartNode(f.Node)
+		p.mu.Lock()
+		if err != nil {
+			// A second crash fault on the same node while the first restart
+			// was pending collapses into one crash; its extra restart is
+			// benign, not an error.
+			if !errors.Is(err, ErrNotCrashed) {
+				p.errs = append(p.errs, err)
+			}
+		} else {
+			p.stats.Restarts++
+			p.stats.Recovery.add(rs)
+		}
+		p.mu.Unlock()
+	}()
+}
+
+// Wait blocks until every scheduled automatic restart/resume has run.
+func (p *FaultPlan) Wait() { p.wg.Wait() }
+
+// Close uninstalls the hook and waits for scheduled restarts.
+func (p *FaultPlan) Close() {
+	p.co.c.SetFaultHook(nil)
+	p.Wait()
+}
+
+// Stats returns what the plan injected so far.
+func (p *FaultPlan) Stats() FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Pending returns the faults whose trigger occurrence never fired.
+func (p *FaultPlan) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Errs returns errors from scheduled restarts (e.g. a restart racing a
+// manual one).
+func (p *FaultPlan) Errs() []error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]error(nil), p.errs...)
+}
+
+// RandomFaults builds a seeded random crash schedule: count crashes
+// spread over the three 2PC trigger points and all node IDs in [0,
+// nodes), each firing within the first maxOccurrence occurrences of its
+// trigger and auto-restarting after a random delay in [restartMin,
+// restartMax]. The same seed yields the same schedule.
+func RandomFaults(seed int64, count, nodes, maxOccurrence int, restartMin, restartMax time.Duration) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	points := []TriggerPoint{BeforePrepareAck, AfterPrepareAck, BeforeCommitAck}
+	out := make([]Fault, count)
+	for i := range out {
+		spread := int64(restartMax - restartMin)
+		delay := restartMin
+		if spread > 0 {
+			delay += time.Duration(rng.Int63n(spread))
+		}
+		out[i] = Fault{
+			Point:        points[rng.Intn(len(points))],
+			Node:         rng.Intn(nodes),
+			After:        1 + rng.Intn(maxOccurrence),
+			RestartAfter: delay,
+		}
+	}
+	return out
+}
+
+// String aids debugging of schedules.
+func (f Fault) String() string {
+	kind := "crash"
+	if f.Pause {
+		kind = "pause"
+	}
+	return fmt.Sprintf("%s node %d at %v#%d (restart after %v)", kind, f.Node, f.Point, f.After, f.RestartAfter)
+}

@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"schism/internal/cluster/wal"
 	"schism/internal/sqlparse"
 	"schism/internal/storage"
 	"schism/internal/txn"
@@ -21,8 +23,14 @@ const (
 )
 
 type request struct {
-	kind    reqKind
-	ts      txn.TS
+	kind reqKind
+	ts   txn.TS
+	// epoch is the transaction's attempt number (wait-die retries reuse
+	// ts). Participants track the epoch that created their state so a
+	// stale message — e.g. the abort of a timed-out earlier attempt, still
+	// queued on a paused node when the retry's messages arrive — can be
+	// recognised and ignored instead of killing the live attempt.
+	epoch   uint64
 	stmt    sqlparse.Statement
 	capture bool // ask the executor to report accessed keys
 	sentAt  time.Time
@@ -37,8 +45,28 @@ type response struct {
 	sentAt time.Time
 }
 
-// Node is one shared-nothing server: a local database, a lock manager, and
-// a pool of executor workers consuming a request queue.
+// nodeStatus is a node's lifecycle state. Transitions: running -> paused
+// -> running (Pause/Resume), running|paused -> crashed (Crash), crashed
+// -> recovering -> running (Restart).
+type nodeStatus int32
+
+const (
+	statusRunning nodeStatus = iota
+	// statusPaused models a network partition / stall: requests queue and
+	// the node answers nothing until Resume. Volatile state survives.
+	statusPaused
+	// statusCrashed models process death: the lock table, participant
+	// states and in-flight work are lost. The storage image and the WAL
+	// (the "disks") survive. Requests are refused with ErrNodeDown.
+	statusCrashed
+	// statusRecovering: Restart is replaying the WAL; requests are still
+	// refused until recovery completes.
+	statusRecovering
+)
+
+// Node is one shared-nothing server: a local database, a lock manager, a
+// write-ahead log and a pool of executor workers consuming a request
+// queue.
 type Node struct {
 	ID  int
 	cfg Config
@@ -47,8 +75,21 @@ type Node struct {
 	locks *txn.LockManager
 	latch sync.RWMutex // protects tree/index structure; row locks protect data
 
+	wal   *wal.Log
+	hooks *hookSlot
+
 	reqCh chan *request
 	wg    sync.WaitGroup
+
+	// status is the lifecycle state; inflight counts workers currently
+	// serving a request against live node state. Restart waits for
+	// inflight to drain to zero after the crash flag settles, so recovery
+	// never races a worker that passed the status check before the crash.
+	status   atomic.Int32
+	inflight atomic.Int64
+
+	pmu     sync.Mutex
+	pauseCh chan struct{} // non-nil while paused; closed on Resume/Crash
 
 	// ops counts statement executions this node performed (load metric:
 	// the benchmark driver diffs snapshots to compute per-node imbalance).
@@ -60,6 +101,7 @@ type Node struct {
 
 // txnState is 2PC participant state for one transaction on this node.
 type txnState struct {
+	epoch    uint64 // attempt number that created this state (0: recovery)
 	undo     []undoRec
 	prepared bool
 	doomed   bool // a statement failed; must vote no
@@ -71,12 +113,14 @@ type undoRec struct {
 	oldRow storage.Row // nil means the key did not exist (undo = delete)
 }
 
-func newNode(id int, cfg Config, db *storage.Database) *Node {
+func newNode(id int, cfg Config, db *storage.Database, hooks *hookSlot) *Node {
 	n := &Node{
 		ID:    id,
 		cfg:   cfg,
 		db:    db,
 		locks: txn.NewLockManager(cfg.LockTimeout),
+		wal:   wal.New(cfg.LogForce, 0),
+		hooks: hooks,
 		reqCh: make(chan *request, cfg.QueueDepth),
 		txns:  make(map[txn.TS]*txnState),
 	}
@@ -88,6 +132,17 @@ func newNode(id int, cfg Config, db *storage.Database) *Node {
 }
 
 func (n *Node) close() {
+	// A paused node's workers are parked on the pause gate; wake them so
+	// the queue drains and wg.Wait terminates.
+	n.pmu.Lock()
+	if n.getStatus() == statusPaused {
+		n.status.Store(int32(statusRunning))
+		if n.pauseCh != nil {
+			close(n.pauseCh)
+			n.pauseCh = nil
+		}
+	}
+	n.pmu.Unlock()
 	close(n.reqCh)
 	n.wg.Wait()
 }
@@ -96,9 +151,28 @@ func (n *Node) close() {
 // Callers must not use it while a load is running.
 func (n *Node) DB() *storage.Database { return n.db }
 
+// WAL exposes the node's write-ahead log (tests and benchmarks inspect
+// force counts and replay sizes through it).
+func (n *Node) WAL() *wal.Log { return n.wal }
+
 // Ops returns the number of statements this node has executed since it
 // started (monotonic; safe to read while traffic runs).
 func (n *Node) Ops() int64 { return n.ops.Load() }
+
+func (n *Node) getStatus() nodeStatus { return nodeStatus(n.status.Load()) }
+
+// trigger fires the cluster's fault hook (if any) at a trigger point.
+func (n *Node) trigger(p TriggerPoint) { n.hooks.fire(p, n.ID) }
+
+// down reports whether the node is crashed or mid-recovery.
+func (n *Node) down() bool {
+	s := n.getStatus()
+	return s == statusCrashed || s == statusRecovering
+}
+
+func (n *Node) downErr() error {
+	return fmt.Errorf("cluster: node %d: %w", n.ID, ErrNodeDown)
+}
 
 // send enqueues a request; the caller reads the reply channel.
 func (n *Node) send(r *request) {
@@ -111,32 +185,103 @@ func (n *Node) worker() {
 	for r := range n.reqCh {
 		// The message spends NetworkDelay on the wire...
 		waitNet(r.sentAt, n.cfg.NetworkDelay)
-		// ...then ServiceTime of this worker's attention. Busy-spin rather
-		// than sleep: service cost is CPU occupancy, and sleep granularity
-		// on some hosts (~1ms) would swamp microsecond costs.
-		if n.cfg.ServiceTime > 0 {
-			spinWait(n.cfg.ServiceTime)
+		n.process(r)
+	}
+}
+
+// process dispatches one request against the node's lifecycle state: a
+// running node serves it, a paused node parks the worker until Resume,
+// a crashed (or recovering) node refuses it. The inflight counter
+// brackets serve() so Restart can wait out workers that passed the
+// status check before a crash flag settled.
+func (n *Node) process(r *request) {
+	for {
+		n.inflight.Add(1)
+		switch n.getStatus() {
+		case statusRunning:
+			n.serve(r)
+			n.inflight.Add(-1)
+			return
+		case statusPaused:
+			n.inflight.Add(-1)
+			n.pmu.Lock()
+			gate := n.pauseCh
+			n.pmu.Unlock()
+			if gate != nil {
+				<-gate
+			}
+		default: // crashed or recovering: the dead node answers nothing useful
+			n.inflight.Add(-1)
+			r.reply <- response{err: n.downErr(), sentAt: time.Now()}
+			return
 		}
-		var resp response
-		switch r.kind {
-		case reqExec:
-			n.ops.Add(1)
-			resp = n.execStmt(r.ts, r.stmt, r.capture)
-		case reqPrepare:
-			if n.cfg.LogForce > 0 {
-				time.Sleep(n.cfg.LogForce)
+	}
+}
+
+// serve executes one request on a running node. Fault trigger points
+// bracket the durable 2PC steps: BeforePrepareAck fires after the
+// prepare request arrives but before the vote is logged (a crash here
+// loses the vote — presumed abort), AfterPrepareAck fires once the yes
+// vote is durable and the ack is on the wire (a crash here leaves the
+// transaction in doubt: the coordinator has the vote, the node no
+// longer knows the outcome), BeforeCommitAck fires before the commit
+// record is logged (a crash here refuses a decision already taken
+// globally — recovery learns it from the coordinator's record). A hook
+// that crashes the node makes the down() re-check refuse the request; a
+// hook that pauses it parks the worker right at the trigger instant
+// until Resume.
+func (n *Node) serve(r *request) {
+	// ServiceTime of this worker's attention. Busy-spin rather than
+	// sleep: service cost is CPU occupancy, and sleep granularity on some
+	// hosts (~1ms) would swamp microsecond costs.
+	if n.cfg.ServiceTime > 0 {
+		spinWait(n.cfg.ServiceTime)
+	}
+	var resp response
+	switch r.kind {
+	case reqExec:
+		n.ops.Add(1)
+		resp = n.execStmt(r.ts, r.epoch, r.stmt, r.capture)
+	case reqPrepare:
+		n.trigger(BeforePrepareAck)
+		n.pauseGate()
+		if n.down() {
+			resp.err = n.downErr()
+		} else {
+			resp.err = n.prepare(r.ts, r.epoch)
+			if resp.err == nil {
+				// The durable yes vote will be acked no matter what happens
+				// to the node now: fire the in-doubt trigger before the
+				// reply so "crash after ack" is deterministic.
+				n.trigger(AfterPrepareAck)
 			}
-			resp.err = n.prepare(r.ts)
-		case reqCommit:
-			if n.cfg.LogForce > 0 {
-				time.Sleep(n.cfg.LogForce)
-			}
+		}
+	case reqCommit:
+		n.trigger(BeforeCommitAck)
+		n.pauseGate()
+		if n.down() {
+			resp.err = n.downErr()
+		} else {
 			n.commit(r.ts)
-		case reqAbort:
-			n.abort(r.ts)
 		}
-		resp.sentAt = time.Now()
-		r.reply <- resp
+	case reqAbort:
+		n.abort(r.ts, r.epoch)
+	}
+	resp.sentAt = time.Now()
+	r.reply <- resp
+}
+
+// pauseGate parks the calling worker while the node is paused (a fault
+// hook pausing the node stalls the request at that exact instant).
+func (n *Node) pauseGate() {
+	for n.getStatus() == statusPaused {
+		n.pmu.Lock()
+		gate := n.pauseCh
+		n.pmu.Unlock()
+		if gate == nil {
+			return
+		}
+		<-gate
 	}
 }
 
@@ -152,8 +297,23 @@ func (n *Node) state(ts txn.TS) *txnState {
 	return st
 }
 
-func (n *Node) execStmt(ts txn.TS, stmt sqlparse.Statement, capture bool) response {
-	st := n.state(ts)
+func (n *Node) execStmt(ts txn.TS, epoch uint64, stmt sqlparse.Statement, capture bool) response {
+	n.tmu.Lock()
+	st := n.txns[ts]
+	if st != nil && st.epoch != epoch {
+		// A previous attempt's state lingers: its abort fan-out is still
+		// queued behind us (the node was paused when the coordinator gave
+		// up on it). The coordinator never starts a new attempt before
+		// dooming the old one, so roll the old attempt back here; the
+		// queued stale abort will find an epoch mismatch and do nothing.
+		n.rollbackLocked(ts, st)
+		st = nil
+	}
+	if st == nil {
+		st = &txnState{epoch: epoch}
+		n.txns[ts] = st
+	}
+	n.tmu.Unlock()
 	if st.doomed {
 		return response{err: errors.New("cluster: transaction already failed on this node")}
 	}
@@ -164,19 +324,60 @@ func (n *Node) execStmt(ts txn.TS, stmt sqlparse.Statement, capture bool) respon
 	return resp
 }
 
-// prepare is the 2PC vote: yes iff every statement succeeded here.
-func (n *Node) prepare(ts txn.TS) error {
-	st := n.state(ts)
+// prepare is the 2PC vote: yes iff every statement succeeded here. A yes
+// vote logs the transaction's write-set and forces the WAL before it is
+// acked — the vote is a durable promise to commit on demand, and after a
+// crash recovery re-installs it as an in-doubt transaction. A missing
+// participant state (lost in a crash since the statements ran) means
+// nothing here can be committed, so the node votes no: under presumed
+// abort that is always safe.
+// The vote check and the prepare-record append run atomically under tmu:
+// a timed-out prepare can still be parked on a paused node when its own
+// abort arrives, and logging a vote after the rollback would promise a
+// write-set that no longer exists. The modeled flush latency is paid
+// after tmu is released so it never serializes other transactions.
+func (n *Node) prepare(ts txn.TS, epoch uint64) error {
+	n.tmu.Lock()
+	st := n.txns[ts]
+	if st == nil {
+		n.tmu.Unlock()
+		// The state was lost in a crash since the statements ran (the node
+		// has since recovered). Nothing durable happened for this attempt,
+		// so the refusal is retryable like any ErrNodeDown.
+		return fmt.Errorf("cluster: vote no: participant state lost in crash: %w", ErrNodeDown)
+	}
+	if st.epoch != epoch {
+		n.tmu.Unlock()
+		// A stale prepare from an attempt the coordinator already gave up
+		// on. Voting yes would durably promise the CURRENT attempt's
+		// half-built write-set to a requester that no longer exists.
+		return errors.New("cluster: vote no: stale prepare from a superseded attempt")
+	}
 	if st.doomed {
+		n.tmu.Unlock()
 		return errors.New("cluster: vote no")
 	}
+	pay := n.wal.AppendPrepareAsync(uint64(ts), writeSet(st.undo))
 	st.prepared = true
+	n.tmu.Unlock()
+	pay()
 	return nil
 }
 
-// commit makes the transaction's writes durable (they are already applied
-// in place) and releases its locks.
+// writeSet extracts the (table, key) write-set from undo records.
+func writeSet(undo []undoRec) []wal.Key {
+	ws := make([]wal.Key, len(undo))
+	for i, u := range undo {
+		ws[i] = wal.Key{Table: u.table, Key: u.key}
+	}
+	return ws
+}
+
+// commit logs the commit decision (forced: the transaction is durable
+// once the ack leaves this node), drops participant state and releases
+// locks. The writes themselves were applied in place by the statements.
 func (n *Node) commit(ts txn.TS) {
+	n.wal.AppendCommit(uint64(ts))
 	n.tmu.Lock()
 	delete(n.txns, ts)
 	n.tmu.Unlock()
@@ -184,32 +385,54 @@ func (n *Node) commit(ts txn.TS) {
 }
 
 // abort rolls back applied writes in reverse order and releases locks.
-func (n *Node) abort(ts txn.TS) {
+// The abort record is not forced: under presumed abort, a lost abort
+// record just makes recovery redo the (idempotent) undo. An abort whose
+// epoch does not match the live state — or that finds no state at all —
+// is stale or duplicate and must touch NOTHING: in particular not the
+// lock table, which a newer attempt of the same ts may be relying on.
+func (n *Node) abort(ts txn.TS, epoch uint64) {
 	n.tmu.Lock()
+	defer n.tmu.Unlock()
 	st := n.txns[ts]
+	if st == nil || st.epoch != epoch {
+		return
+	}
+	n.rollbackLocked(ts, st)
+}
+
+// rollbackLocked rolls one attempt's writes back, logs the abort and
+// releases its locks. Caller holds tmu; holding it across the undo and
+// the lock release makes the state transition atomic against a racing
+// stale message (tmu is always the outermost lock on these paths).
+func (n *Node) rollbackLocked(ts txn.TS, st *txnState) {
 	delete(n.txns, ts)
-	n.tmu.Unlock()
-	if st != nil {
-		n.latch.Lock()
-		for i := len(st.undo) - 1; i >= 0; i-- {
-			u := st.undo[i]
-			tbl := n.db.Table(u.table)
-			if tbl == nil {
-				continue
+	n.applyUndo(st.undo)
+	n.wal.AppendAbort(uint64(ts))
+	n.locks.ReleaseAll(ts)
+}
+
+// applyUndo rolls back a transaction's writes in reverse order. It is
+// idempotent — recovery may re-run an undo whose abort record was lost —
+// so each step checks current existence rather than assuming it.
+func (n *Node) applyUndo(undo []undoRec) {
+	n.latch.Lock()
+	defer n.latch.Unlock()
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		tbl := n.db.Table(u.table)
+		if tbl == nil {
+			continue
+		}
+		if u.oldRow == nil {
+			tbl.Delete(u.key)
+		} else if _, ok := tbl.Get(u.key); ok {
+			if err := tbl.Update(u.key, u.oldRow); err != nil {
+				panic("cluster: undo failed: " + err.Error())
 			}
-			if u.oldRow == nil {
-				tbl.Delete(u.key)
-			} else if _, ok := tbl.Get(u.key); ok {
-				if err := tbl.Update(u.key, u.oldRow); err != nil {
-					panic("cluster: undo failed: " + err.Error())
-				}
-			} else {
-				if err := tbl.Insert(u.oldRow); err != nil {
-					panic("cluster: undo failed: " + err.Error())
-				}
+		} else {
+			if err := tbl.Insert(u.oldRow); err != nil {
+				panic("cluster: undo failed: " + err.Error())
 			}
 		}
-		n.latch.Unlock()
 	}
-	n.locks.ReleaseAll(ts)
 }

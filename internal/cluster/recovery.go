@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"schism/internal/cluster/wal"
+	"schism/internal/storage"
+	"schism/internal/txn"
+)
+
+// ErrNotCrashed is returned by Restart when the node is not in the
+// crashed state (already running, paused, or mid-recovery).
+var ErrNotCrashed = errors.New("cluster: node is not crashed")
+
+// Decision is the coordinator's recorded fate for a transaction, as
+// consulted by the 2PC termination protocol.
+type Decision uint8
+
+// Decisions.
+const (
+	// DecisionPending: the transaction is still in flight; ask again.
+	DecisionPending Decision = iota
+	// DecisionCommit: a commit decision was recorded; the participant
+	// must commit its in-doubt branch.
+	DecisionCommit
+	// DecisionAbort: no commit record exists and the transaction is not
+	// active — under presumed abort, that IS the abort decision.
+	DecisionAbort
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionPending:
+		return "pending"
+	case DecisionCommit:
+		return "commit"
+	case DecisionAbort:
+		return "abort"
+	}
+	return "invalid"
+}
+
+// DecisionFn answers the termination protocol's question "what happened
+// to transaction ts?". The coordinator's Decision method is the usual
+// implementation; nil means no coordinator is reachable and every
+// in-doubt transaction resolves by presumed abort.
+type DecisionFn func(ts txn.TS) Decision
+
+// RecoveryStats describes one node restart.
+type RecoveryStats struct {
+	// Records is the number of intact WAL records analyzed.
+	Records int
+	// TornBytes is the length of the torn tail discarded (crash
+	// mid-append), zero in the common case.
+	TornBytes int
+	// LosersUndone counts in-flight (never-prepared) transactions whose
+	// writes were rolled back from their logged before-images.
+	LosersUndone int
+	// InDoubt counts prepared-but-undecided transactions re-installed at
+	// restart; InDoubtCommitted/InDoubtAborted say how the termination
+	// protocol resolved them.
+	InDoubt          int
+	InDoubtCommitted int
+	InDoubtAborted   int
+	// Replay is the time spent scanning the WAL and undoing losers;
+	// Resolve the time spent in the termination protocol.
+	Replay  time.Duration
+	Resolve time.Duration
+}
+
+func (s *RecoveryStats) add(o RecoveryStats) {
+	s.Records += o.Records
+	s.TornBytes += o.TornBytes
+	s.LosersUndone += o.LosersUndone
+	s.InDoubt += o.InDoubt
+	s.InDoubtCommitted += o.InDoubtCommitted
+	s.InDoubtAborted += o.InDoubtAborted
+	s.Replay += o.Replay
+	s.Resolve += o.Resolve
+}
+
+func (s RecoveryStats) String() string {
+	return fmt.Sprintf("records=%d losers=%d in-doubt=%d (commit=%d abort=%d) replay=%v resolve=%v",
+		s.Records, s.LosersUndone, s.InDoubt, s.InDoubtCommitted, s.InDoubtAborted, s.Replay, s.Resolve)
+}
+
+// Restart brings a crashed node back: fresh volatile state, WAL replay
+// to roll back the writes of transactions that were in flight at the
+// crash, and the 2PC termination protocol (against decide) for
+// transactions that had voted yes but never learned the outcome. The
+// node serves requests again when Restart returns.
+func (c *Cluster) Restart(i int, decide DecisionFn) (RecoveryStats, error) {
+	n := c.nodes[i]
+	n.pmu.Lock()
+	if n.getStatus() != statusCrashed {
+		n.pmu.Unlock()
+		return RecoveryStats{}, fmt.Errorf("%w: node %d", ErrNotCrashed, i)
+	}
+	n.status.Store(int32(statusRecovering))
+	n.pmu.Unlock()
+	// Wait out workers that passed the status gate before the crash flag
+	// settled: recovery must own the node's state exclusively.
+	for n.inflight.Load() != 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
+	stats := n.recover(decide, c.cfg)
+	n.status.Store(int32(statusRunning))
+	return stats, nil
+}
+
+// RestartNode restarts a crashed node with this coordinator's decision
+// record answering the termination protocol.
+func (co *Coordinator) RestartNode(i int) (RecoveryStats, error) {
+	return co.c.Restart(i, func(ts txn.TS) Decision { return co.Decision(ts, i) })
+}
+
+// recover rebuilds the node from its durable state (storage image +
+// WAL). ARIES-style but simpler because this simulator applies writes in
+// place and keeps the whole image durable: there is no redo pass, only
+// (1) analysis of the log, (2) undo of transactions with neither a
+// prepare nor a decision record — presumed abort — and (3) re-installing
+// prepared transactions as in-doubt, with their write locks re-taken,
+// then resolving each through the termination protocol.
+func (n *Node) recover(decide DecisionFn, cfg Config) RecoveryStats {
+	var stats RecoveryStats
+	start := time.Now()
+
+	image := n.wal.Snapshot()
+	an := wal.Analyze(image)
+	stats.Records = an.Records
+	stats.TornBytes = len(image) - an.Bytes
+
+	// Fresh volatile state: the crash destroyed the lock table and the
+	// participant-state map.
+	n.locks = txn.NewLockManager(cfg.LockTimeout)
+	n.txns = make(map[txn.TS]*txnState)
+
+	var losers, indoubt []uint64
+	for ts, tl := range an.Txns {
+		switch tl.Status {
+		case wal.StatusCommitted, wal.StatusAborted:
+			// Done: effects (or their rollback) are in the durable image.
+		case wal.StatusActive:
+			losers = append(losers, ts)
+		case wal.StatusPrepared:
+			indoubt = append(indoubt, ts)
+		}
+	}
+	// Deterministic order, so recovery of a given log is reproducible.
+	sort.Slice(losers, func(i, j int) bool { return losers[i] < losers[j] })
+	sort.Slice(indoubt, func(i, j int) bool { return indoubt[i] < indoubt[j] })
+
+	for _, ts := range losers {
+		n.applyUndo(undoFromWAL(an.Txns[ts].Undo))
+		n.wal.AppendAbort(ts)
+		stats.LosersUndone++
+	}
+	for _, ts := range indoubt {
+		tl := an.Txns[ts]
+		n.txns[txn.TS(ts)] = &txnState{undo: undoFromWAL(tl.Undo), prepared: true}
+		// Re-take the write locks so new transactions cannot read or
+		// overwrite the in-doubt writes while the fate is unresolved.
+		for _, k := range tl.WriteSet {
+			if err := n.locks.Acquire(txn.TS(ts), txn.LockKey{Table: k.Table, Key: k.Key}, txn.Exclusive); err != nil {
+				panic("cluster: recovery lock acquire failed: " + err.Error())
+			}
+		}
+	}
+	stats.InDoubt = len(indoubt)
+	stats.Replay = time.Since(start)
+
+	// Termination protocol: ask the coordinator's decision record for
+	// each in-doubt transaction. commit/abort below write the decision
+	// into the WAL, so a crash during recovery re-resolves only what is
+	// still undecided.
+	rstart := time.Now()
+	for _, ts := range indoubt {
+		switch resolveInDoubt(decide, txn.TS(ts), cfg.LockTimeout) {
+		case DecisionCommit:
+			n.commit(txn.TS(ts))
+			stats.InDoubtCommitted++
+		default:
+			n.abort(txn.TS(ts), 0) // reinstalled states carry epoch 0
+			stats.InDoubtAborted++
+		}
+	}
+	stats.Resolve = time.Since(rstart)
+	return stats
+}
+
+// resolveInDoubt polls the decision record until it is conclusive. A
+// transaction can legitimately be Pending: this node voted yes and
+// crashed, but the coordinator is still collecting votes and could yet
+// record a commit — aborting now would be wrong. Past a bound (~2x the
+// lock timeout, by when any live transaction has finished or died) a
+// still-pending transaction is presumed aborted: safe, because the
+// coordinator never records commit without every yes vote, and if it
+// has not done so by now it aborts too.
+func resolveInDoubt(decide DecisionFn, ts txn.TS, lockTimeout time.Duration) Decision {
+	if decide == nil {
+		return DecisionAbort
+	}
+	deadline := time.Now().Add(2 * lockTimeout)
+	for {
+		d := decide(ts)
+		if d != DecisionPending {
+			return d
+		}
+		if time.Now().After(deadline) {
+			return DecisionAbort
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// undoFromWAL converts logged update records back into undo records.
+func undoFromWAL(recs []wal.Record) []undoRec {
+	out := make([]undoRec, len(recs))
+	for i, r := range recs {
+		u := undoRec{table: r.Table, key: r.Key}
+		if r.HadOld {
+			u.oldRow = storage.Row(r.Old)
+		}
+		out[i] = u
+	}
+	return out
+}

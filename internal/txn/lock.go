@@ -45,6 +45,9 @@ var (
 	ErrDie = errors.New("txn: wait-die abort")
 	// ErrTimeout means the lock wait exceeded the manager's bound.
 	ErrTimeout = errors.New("txn: lock wait timeout")
+	// ErrShutdown means the lock manager was closed (its node crashed)
+	// while the lock was requested or awaited.
+	ErrShutdown = errors.New("txn: lock manager shut down")
 )
 
 // LockManager is a per-node row lock table.
@@ -53,6 +56,7 @@ type LockManager struct {
 	locks   map[LockKey]*lockState
 	byTxn   map[TS]map[LockKey]struct{}
 	maxWait time.Duration
+	closed  bool
 }
 
 type lockState struct {
@@ -84,6 +88,10 @@ func NewLockManager(maxWait time.Duration) *LockManager {
 // same or stronger mode, and upgrades Shared->Exclusive when possible.
 func (lm *LockManager) Acquire(ts TS, key LockKey, mode Mode) error {
 	lm.mu.Lock()
+	if lm.closed {
+		lm.mu.Unlock()
+		return ErrShutdown
+	}
 	ls := lm.locks[key]
 	if ls == nil {
 		ls = &lockState{holders: make(map[TS]Mode)}
@@ -238,6 +246,28 @@ func (lm *LockManager) wake(ls *lockState, key LockKey) {
 		}
 		i++
 	}
+}
+
+// Close shuts the lock manager down: every queued waiter is failed with
+// ErrShutdown immediately and all subsequent Acquire calls fail the same
+// way. A node calls this when it crashes so workers blocked on its lock
+// table unwind promptly instead of waiting out their timeout against a
+// lock holder that no longer exists.
+func (lm *LockManager) Close() {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if lm.closed {
+		return
+	}
+	lm.closed = true
+	for key, ls := range lm.locks {
+		for _, w := range ls.queue {
+			w.ready <- ErrShutdown
+		}
+		ls.queue = nil
+		delete(lm.locks, key)
+	}
+	lm.byTxn = make(map[TS]map[LockKey]struct{})
 }
 
 // HeldLocks returns the number of locks ts currently holds (for tests and

@@ -8,9 +8,13 @@
 # hot path (BenchmarkRouterLocate: HashIndex vs the compressed Compact /
 # Runs representations, with per-table memory as table-bytes), the
 # benchmark driver's histogram/record path and end-to-end overhead
-# (BenchmarkHist*, BenchmarkDriverTPCC), and the strategy-comparison
+# (BenchmarkHist*, BenchmarkDriverTPCC), the strategy-comparison
 # experiment (BenchmarkBenchTPCC: the same TPC-C client streams under
-# schism vs hash vs range vs full-replication routing) — with -benchmem,
+# schism vs hash vs range vs full-replication routing), and the fault
+# and recovery path (BenchmarkWALAppend/BenchmarkWALAnalyze: per-txn
+# logging and recovery-scan cost; BenchmarkRecoveryReplay: WAL replay
+# per restart as replay-ms/records; BenchmarkChaosConvergence: aborts
+# under a crash schedule and converge-ms after it) — with -benchmem,
 # recording the results as JSON so the perf trajectory is tracked PR
 # over PR: BENCH_1.json for PR 1, BENCH_2.json for PR 2, and so on.
 #
@@ -36,12 +40,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC' -benchmem \
-    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup ./internal/driver ./internal/experiments | tee "$TXT"
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC|BenchmarkWALAppend|BenchmarkWALAnalyze|BenchmarkRecoveryReplay|BenchmarkChaosConvergence' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup ./internal/cluster ./internal/cluster/wal ./internal/driver ./internal/experiments | tee "$TXT"
 
 awk '
 BEGIN { print "["; first = 1 }
