@@ -6,8 +6,9 @@
 //	experiments -run fig5    # partitioner scalability (Fig. 5)
 //	experiments -run fig6    # TPC-C end-to-end throughput scaling (Fig. 6)
 //	experiments -run table1  # graph sizes (Table 1)
-//	experiments -run drift   # online repartitioning under workload drift
-//	experiments -run bench   # end-to-end strategy-comparison benchmark
+//	experiments -run drift    # online repartitioning under workload drift
+//	experiments -run bench    # end-to-end strategy-comparison benchmark
+//	experiments -run failover # availability through a leader crash vs R
 //	experiments -run all
 //
 // -scale N multiplies dataset sizes (1 = laptop defaults); -quick shrinks
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|drift|bench|all")
+	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|drift|bench|failover|all")
 	scale := flag.Int("scale", 1, "dataset scale factor")
 	quick := flag.Bool("quick", false, "tiny datasets for smoke runs")
 	flag.Parse()
@@ -57,6 +58,14 @@ func main() {
 			os.Exit(1)
 		}
 		experiments.PrintBench(os.Stdout, res)
+	})
+	do("failover", func() {
+		rows, err := experiments.Failover(experiments.FailoverConfig{}, s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "failover:", err)
+			os.Exit(1)
+		}
+		experiments.PrintFailover(os.Stdout, rows)
 	})
 	do("drift", func() {
 		for _, sc := range []string{"ycsb", "tpcc"} {

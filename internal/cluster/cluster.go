@@ -26,9 +26,12 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"schism/internal/cluster/repl"
 	"schism/internal/partition"
 	"schism/internal/storage"
 	"schism/internal/txn"
@@ -76,6 +79,25 @@ type Config struct {
 	// find (default 3). The decision itself is already taken; this only
 	// tunes delivery persistence.
 	CommitRetries int
+
+	// ReplicationFactor groups consecutive nodes into consensus
+	// replication groups of this size: nodes [g*R, (g+1)*R) form group g,
+	// each group running one replicated log with leader failover (see
+	// package repl and DESIGN.md, "Replication and failover"). Partitions
+	// are then group-granular: a strategy's NumPartitions must equal
+	// Nodes/R, and R must divide Nodes. 0 or 1 disables replication —
+	// every node is its own group and behaves exactly as before.
+	ReplicationFactor int
+	// ReplHeartbeat / ReplElection / ReplLease / ReplCompactEntries tune
+	// the group consensus protocol (zero: repl package defaults). Tests
+	// shrink them for fast failover.
+	ReplHeartbeat      time.Duration
+	ReplElection       time.Duration
+	ReplLease          time.Duration
+	ReplCompactEntries int
+	// ReplSeed seeds election jitter and probabilistic link faults, so a
+	// seeded chaos schedule replays identically.
+	ReplSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.CommitRetries <= 0 {
 		c.CommitRetries = 3
 	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 1
+	}
 	return c
 }
 
@@ -100,6 +125,23 @@ type Cluster struct {
 	nodes []*Node
 	clock txn.Clock
 	hooks hookSlot
+
+	// Replication state (ReplicationFactor > 1). durables is each node's
+	// crash-surviving consensus log (its "disk"); leaderCache is the
+	// cluster's best guess at each group's leader, updated by LeaderReady
+	// callbacks and coordinator redirect hints.
+	durables    []*repl.Durable
+	leaderCache []atomic.Int32
+
+	// Link-fault table for the replication transport (fault.go).
+	netMu  sync.Mutex
+	links  map[[2]int]LinkFault
+	netRng *rand.Rand
+
+	// decider answers the termination protocol for group leaders
+	// resolving in-doubt entries (ts, group) -> Decision. NewCoordinator
+	// installs its decision record here.
+	decider atomic.Pointer[func(txn.TS, int) Decision]
 
 	mu     sync.Mutex
 	closed bool
@@ -112,7 +154,11 @@ func New(cfg Config, builddb func(node int) *storage.Database) *Cluster {
 	if cfg.Nodes <= 0 {
 		panic("cluster: Nodes must be positive")
 	}
-	c := &Cluster{cfg: cfg}
+	if cfg.Nodes%cfg.ReplicationFactor != 0 {
+		panic(fmt.Sprintf("cluster: ReplicationFactor %d does not divide Nodes %d",
+			cfg.ReplicationFactor, cfg.Nodes))
+	}
+	c := &Cluster{cfg: cfg, netRng: rand.New(rand.NewSource(cfg.ReplSeed + 1))}
 	for i := 0; i < cfg.Nodes; i++ {
 		db := builddb(i)
 		if db == nil {
@@ -120,11 +166,62 @@ func New(cfg Config, builddb func(node int) *storage.Database) *Cluster {
 		}
 		c.nodes = append(c.nodes, newNode(i, cfg, db, &c.hooks))
 	}
+	if c.replicated() {
+		c.durables = make([]*repl.Durable, cfg.Nodes)
+		for i := range c.durables {
+			c.durables[i] = repl.NewDurable()
+		}
+		c.leaderCache = make([]atomic.Int32, c.NumGroups())
+		for g := range c.leaderCache {
+			c.leaderCache[g].Store(int32(g * cfg.ReplicationFactor))
+		}
+		for i, n := range c.nodes {
+			n.startGroup(c, c.durables[i])
+		}
+	}
 	return c
 }
 
 // NumNodes returns the number of nodes.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// ReplicationFactor returns the group size R (1 when replication is off).
+func (c *Cluster) ReplicationFactor() int { return c.cfg.ReplicationFactor }
+
+// replicated reports whether partitions are consensus groups.
+func (c *Cluster) replicated() bool { return c.cfg.ReplicationFactor > 1 }
+
+// NumGroups returns the number of replication groups — the partition
+// count strategies must match. With replication off it equals NumNodes.
+func (c *Cluster) NumGroups() int { return len(c.nodes) / c.cfg.ReplicationFactor }
+
+// GroupOf returns the replication group node i belongs to.
+func (c *Cluster) GroupOf(node int) int { return node / c.cfg.ReplicationFactor }
+
+// GroupMembers returns the node ids of group g.
+func (c *Cluster) GroupMembers(g int) []int {
+	r := c.cfg.ReplicationFactor
+	out := make([]int, r)
+	for i := range out {
+		out[i] = g*r + i
+	}
+	return out
+}
+
+// GroupLeader returns the cluster's best guess at group g's current
+// leader node (replication off: the group IS the node).
+func (c *Cluster) GroupLeader(g int) int {
+	if !c.replicated() {
+		return g
+	}
+	return int(c.leaderCache[g].Load())
+}
+
+func (c *Cluster) noteLeader(g, node int) {
+	if c.replicated() && node >= 0 {
+		c.leaderCache[g].Store(int32(node))
+	}
+}
 
 // Node returns node i (tests and data loaders use this for direct access).
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
@@ -148,6 +245,9 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
+	for _, n := range c.nodes {
+		n.stopGroup()
+	}
 	for _, n := range c.nodes {
 		n.close()
 	}

@@ -44,17 +44,23 @@ type Coordinator struct {
 }
 
 // NewCoordinator attaches a router with the given strategy to the cluster.
-// The strategy's NumPartitions must equal the cluster's node count.
+// The strategy's NumPartitions must equal the cluster's partition count —
+// the number of replication groups (== nodes when replication is off).
 func NewCoordinator(c *Cluster, strategy partition.Strategy) *Coordinator {
-	if strategy.NumPartitions() != c.NumNodes() {
-		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d nodes",
-			strategy.NumPartitions(), c.NumNodes()))
+	if strategy.NumPartitions() != c.NumGroups() {
+		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d groups",
+			strategy.NumPartitions(), c.NumGroups()))
 	}
-	return &Coordinator{
+	co := &Coordinator{
 		c: c, strategy: strategy,
 		active:  make(map[txn.TS]struct{}),
 		commits: make(map[txn.TS][]int),
 	}
+	// Group leaders resolving in-doubt entries (failover inheritance) ask
+	// this coordinator's decision record through the cluster.
+	fn := func(ts txn.TS, group int) Decision { return co.Decision(ts, group) }
+	c.decider.Store(&fn)
+	return co
 }
 
 func (co *Coordinator) recordCommit(ts txn.TS, nodes []int) {
@@ -135,7 +141,7 @@ func (co *Coordinator) deregister(ts txn.TS) {
 // the migration executor's epoch barrier — misleading. The check repeats
 // each poll so a node failing mid-drain also aborts the wait.
 func (co *Coordinator) Drain() error {
-	if !co.c.allRunning() {
+	if !co.c.allAvailable() {
 		return fmt.Errorf("%w: nodes %v unavailable", ErrDrainAborted, co.c.Unavailable())
 	}
 	co.actMu.Lock()
@@ -153,7 +159,7 @@ func (co *Coordinator) Drain() error {
 			if !live {
 				break
 			}
-			if !co.c.allRunning() {
+			if !co.c.allAvailable() {
 				return fmt.Errorf("%w: nodes %v unavailable", ErrDrainAborted, co.c.Unavailable())
 			}
 			if time.Now().After(deadline) {
@@ -180,9 +186,9 @@ func (co *Coordinator) Strategy() partition.Strategy {
 // SetStrategy swaps the routing strategy. In-flight transactions keep the
 // strategy they started with; retries pick up the new one.
 func (co *Coordinator) SetStrategy(s partition.Strategy) {
-	if s.NumPartitions() != co.c.NumNodes() {
-		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d nodes",
-			s.NumPartitions(), co.c.NumNodes()))
+	if s.NumPartitions() != co.c.NumGroups() {
+		panic(fmt.Sprintf("cluster: strategy has %d partitions, cluster %d groups",
+			s.NumPartitions(), co.c.NumGroups()))
 	}
 	co.mu.Lock()
 	co.strategy = s
@@ -217,6 +223,21 @@ type Txn struct {
 	failed  bool
 	system  bool // capture-exempt (migration and other internal work)
 	rng     *rand.Rand
+
+	// Replicated-cluster routing state (nil maps when replication is
+	// off). wrote marks groups this attempt has written — their reads
+	// must see the transaction's own writes, so they go to the leader;
+	// servedBy pins each participant group to the member that executed
+	// for us (it holds our locks and undo; protocol messages follow it);
+	// sticky is the follower-read affinity, re-seeded when the chosen
+	// replica cannot serve. smu guards touched/servedBy against the
+	// multi-target fan-out goroutines; sticky and wrote are only touched
+	// between statements.
+	smu      sync.Mutex
+	twoPhase bool // current commit concluded a prepare round
+	wrote    map[int]bool
+	servedBy map[int]int
+	sticky   map[int]int
 
 	capture CaptureFunc
 	accs    []workload.Access
@@ -257,6 +278,11 @@ func (co *Coordinator) begin(system bool) *Txn {
 		touched: make(map[int]bool),
 		rng:     rand.New(rand.NewSource(int64(co.c.clock.Next()))),
 	}
+	if co.c.replicated() {
+		t.wrote = make(map[int]bool)
+		t.servedBy = make(map[int]int)
+		t.sticky = make(map[int]int)
+	}
 	co.register(t.ts)
 	return t
 }
@@ -273,6 +299,12 @@ func (t *Txn) reset() {
 	}
 	t.touched = make(map[int]bool)
 	t.failed = false
+	t.twoPhase = false
+	if t.co.c.replicated() {
+		// Fresh write and pin maps; sticky read affinity survives retries.
+		t.wrote = make(map[int]bool)
+		t.servedBy = make(map[int]int)
+	}
 	t.epoch++ // new attempt: participants must not honour the old one's messages
 	t.accs = t.accs[:0]
 	t.stmtLocal, t.stmtDist = 0, 0
@@ -324,7 +356,7 @@ func (t *Txn) ExecStmt(stmt sqlparse.Statement) ([]storage.Row, error) {
 		targets = route.All
 	}
 	if len(targets) == 0 {
-		targets = allNodes(t.co.c.NumNodes())
+		targets = allNodes(t.co.c.NumGroups())
 	}
 	return t.execOn(stmt, table, write, targets)
 }
@@ -401,15 +433,29 @@ func (t *Txn) execOn(stmt sqlparse.Statement, table string, write bool, targets 
 	return rows, nil
 }
 
-// pickReplica chooses a read replica, preferring a node the transaction
-// already touched (§5.4: this reduces distributed transactions).
+// pickReplica chooses a read replica, preferring a partition the
+// transaction already touched (§5.4: this reduces distributed
+// transactions). Stickiness yields to availability: a touched partition
+// that is crashed or paused is skipped and the choice re-seeded among
+// the live candidates, so reads fail over instead of chasing a dead
+// replica until the transaction starves.
 func (t *Txn) pickReplica(single []int) int {
+	c := t.co.c
 	for _, p := range single {
-		if t.touched[p] {
+		if t.touched[p] && c.partitionAvailable(p) {
 			return p
 		}
 	}
-	return single[t.rng.Intn(len(single))]
+	avail := make([]int, 0, len(single))
+	for _, p := range single {
+		if c.partitionAvailable(p) {
+			avail = append(avail, p)
+		}
+	}
+	if len(avail) == 0 {
+		avail = single // nothing is up; fail fast on whatever we pick
+	}
+	return avail[t.rng.Intn(len(avail))]
 }
 
 // fanout sends a request to each target node in parallel and waits for all
@@ -419,6 +465,9 @@ func (t *Txn) pickReplica(single []int) int {
 // later (a paused node drains its queue on Resume), so a timed-out
 // request's outcome is unknown, not "not executed".
 func (t *Txn) fanout(kind reqKind, stmt sqlparse.Statement, targets []int) []response {
+	if t.co.c.replicated() {
+		return t.fanoutGroups(kind, stmt, targets)
+	}
 	type slot struct {
 		reply chan response
 	}
@@ -490,10 +539,11 @@ func (t *Txn) Commit() error {
 	if len(nodes) == 1 {
 		resp := t.fanout(reqCommit, nil, nodes)
 		if err := resp[0].err; err != nil {
-			if errors.Is(err, ErrNodeDown) {
-				// The node refused the commit without processing it, so the
-				// transaction did not commit and its writes die with the
-				// crash (recovery rolls them back). Safe to retry whole.
+			if errors.Is(err, ErrNodeDown) || errors.Is(err, ErrNotLeader) {
+				// The node refused the commit without processing it (crash,
+				// or a deposed group leader whose unprepared writes were
+				// already swept), so the transaction did not commit and its
+				// writes die with the refusal. Safe to retry whole.
 				return fmt.Errorf("cluster: commit refused by node %d: %w", nodes[0], err)
 			}
 			// Timeout: the commit is queued and may still apply when the
@@ -510,6 +560,7 @@ func (t *Txn) Commit() error {
 	// participant whose vote was lost in flight aborts itself at
 	// recovery (or via the abort fan-out below, which queues behind any
 	// still-pending prepare on a stalled node).
+	t.twoPhase = true
 	votes := t.fanout(reqPrepare, nil, nodes)
 	for _, v := range votes {
 		if v.err != nil {
@@ -601,19 +652,27 @@ func isWrite(stmt sqlparse.Statement) bool {
 	return false
 }
 
-// Retryable reports whether an error is an abort the client should
+// IsRetryable reports whether an error is an abort the client should
 // retry: a concurrency-control abort (wait-die or lock timeout), a
 // statement or vote refused by a crashed node (the transaction rolled
 // back; the retry succeeds once the node recovers or routing avoids
-// it), a lock manager shut down by a crash mid-wait, or a prepare-round
+// it), a lock manager shut down by a crash mid-wait, a prepare-round
 // RPC timeout (presumed abort: no commit record exists, so the stalled
-// participant's queued vote is answered by the queued abort). A COMMIT
-// round timeout is deliberately not retryable — see Commit.
-func Retryable(err error) bool {
+// participant's queued vote is answered by the queued abort), or — on a
+// replicated cluster — a request that outran a leader change
+// (ErrNotLeader, carrying a redirect hint via LeaderHintError) or a
+// follower whose lease lapsed mid-read (ErrLeaseExpired); both refuse
+// before acting, so the retry re-routes against the new leader. A
+// COMMIT round timeout is deliberately not retryable — see Commit.
+func IsRetryable(err error) bool {
 	return errors.Is(err, txn.ErrDie) || errors.Is(err, txn.ErrTimeout) ||
 		errors.Is(err, txn.ErrShutdown) || errors.Is(err, ErrNodeDown) ||
-		errors.Is(err, ErrRPCTimeout)
+		errors.Is(err, ErrRPCTimeout) || errors.Is(err, ErrNotLeader) ||
+		errors.Is(err, ErrLeaseExpired)
 }
+
+// Retryable is the historical name for IsRetryable.
+func Retryable(err error) bool { return IsRetryable(err) }
 
 // TxnResult summarises one transaction driven through the retry loop.
 type TxnResult struct {
@@ -671,7 +730,7 @@ func (co *Coordinator) runTxn(t *Txn, fn func(*Txn) error) (TxnResult, error) {
 		} else {
 			t.Abort()
 		}
-		if !Retryable(ferr) {
+		if !IsRetryable(ferr) {
 			return res, ferr
 		}
 		res.Aborts++

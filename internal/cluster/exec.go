@@ -135,6 +135,14 @@ func dedupInt64(keys []int64) []int64 {
 }
 
 func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select, capture bool) response {
+	return n.execSelectAt(ts, s, capture, true)
+}
+
+// execSelectAt runs a SELECT, with row locking optional: the leader path
+// locks (strict 2PL isolation), a lease-valid follower reads its
+// committed prefix lock-free — rows are atomic under the latch, but the
+// result is a timeline read, not serializable against the leader.
+func (n *Node) execSelectAt(ts txn.TS, s *sqlparse.Select, capture, locked bool) response {
 	if s.Join != nil {
 		return response{err: fmt.Errorf("cluster: runtime joins not supported")}
 	}
@@ -149,8 +157,10 @@ func (n *Node) execSelect(ts txn.TS, s *sqlparse.Select, capture bool) response 
 	var rows []storage.Row
 	var keys []int64
 	for _, k := range n.candidates(tbl, s.Table, s.Where) {
-		if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, mode); err != nil {
-			return response{err: err}
+		if locked {
+			if err := n.locks.Acquire(ts, txn.LockKey{Table: s.Table, Key: k}, mode); err != nil {
+				return response{err: err}
+			}
 		}
 		n.latch.RLock()
 		row, ok := tbl.Get(k)

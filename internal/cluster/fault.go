@@ -25,7 +25,30 @@ var (
 	// paused: transactions queued there cannot finish, so the barrier
 	// cannot be reached.
 	ErrDrainAborted = errors.New("cluster: drain aborted")
+	// ErrNotLeader: a replicated-group request landed on a replica that is
+	// not the group's ready leader. The reply may carry a leader hint
+	// (LeaderHintError); the coordinator redirects and retries.
+	ErrNotLeader = errors.New("cluster: not group leader")
+	// ErrLeaseExpired: a follower refused a local read because it has not
+	// heard from a leader within the lease window, so its committed prefix
+	// may be stale. Retryable against another replica.
+	ErrLeaseExpired = errors.New("cluster: replica lease expired")
 )
+
+// LeaderHintError wraps ErrNotLeader with the refusing replica's best
+// guess at the group's current leader, so the coordinator can redirect
+// without a discovery round.
+type LeaderHintError struct {
+	Group  int
+	Leader int // -1: unknown
+}
+
+func (e *LeaderHintError) Error() string {
+	return fmt.Sprintf("cluster: not leader of group %d (hint: node %d)", e.Group, e.Leader)
+}
+
+// Unwrap makes errors.Is(err, ErrNotLeader) hold.
+func (e *LeaderHintError) Unwrap() error { return ErrNotLeader }
 
 // TriggerPoint names a deterministic instant in the transaction and
 // migration lifecycle where a fault hook fires. The 2PC points bracket
@@ -116,6 +139,10 @@ func (c *Cluster) Crash(i int) {
 		n.pauseCh = nil
 	}
 	n.pmu.Unlock()
+	// The consensus runtime dies with the process; its durable log (and
+	// any waiting Propose/Wait callers) are released by Stop. Restart
+	// builds a fresh replica around the surviving Durable.
+	n.stopGroup()
 	n.locks.Close()
 }
 
@@ -165,6 +192,44 @@ func (c *Cluster) allRunning() bool {
 	return true
 }
 
+// allAvailable is allRunning at partition granularity: with replication
+// on, a group with a running majority can still commit, so Drain need
+// not fail fast just because a minority replica is down.
+func (c *Cluster) allAvailable() bool {
+	if !c.replicated() {
+		return c.allRunning()
+	}
+	r := c.cfg.ReplicationFactor
+	for g := 0; g < c.NumGroups(); g++ {
+		running := 0
+		for _, m := range c.GroupMembers(g) {
+			if c.nodes[m].getStatus() == statusRunning {
+				running++
+			}
+		}
+		if running < r/2+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// partitionAvailable reports whether partition p can currently serve
+// requests: its node is running (replication off) or its group has a
+// running majority (which can elect a leader and commit).
+func (c *Cluster) partitionAvailable(p int) bool {
+	if !c.replicated() {
+		return c.NodeRunning(p)
+	}
+	running := 0
+	for _, m := range c.GroupMembers(p) {
+		if c.nodes[m].getStatus() == statusRunning {
+			running++
+		}
+	}
+	return running >= c.cfg.ReplicationFactor/2+1
+}
+
 // Unavailable lists the nodes currently not serving requests (paused,
 // crashed or recovering).
 func (c *Cluster) Unavailable() []int {
@@ -177,6 +242,113 @@ func (c *Cluster) Unavailable() []int {
 	return out
 }
 
+// LinkFault describes what happens to replication messages on one
+// directed node pair. Zero value = healthy link.
+type LinkFault struct {
+	// Drop discards every message on the link.
+	Drop bool
+	// DropProb discards each message independently with this probability
+	// (seeded by Config.ReplSeed, so schedules replay).
+	DropProb float64
+	// Delay adds fixed extra latency to each delivered message.
+	Delay time.Duration
+	// Reorder adds a random extra latency in [0, Delay] instead of a
+	// fixed one, so consecutive messages overtake each other.
+	Reorder bool
+}
+
+// SetLinkFault installs a fault on the directed link from -> to
+// (replication RPCs only; client requests model the coordinator's own
+// connectivity and are unaffected).
+func (c *Cluster) SetLinkFault(from, to int, f LinkFault) {
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	if c.links == nil {
+		c.links = make(map[[2]int]LinkFault)
+	}
+	c.links[[2]int{from, to}] = f
+}
+
+// ClearLinkFault heals the directed link from -> to.
+func (c *Cluster) ClearLinkFault(from, to int) {
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	delete(c.links, [2]int{from, to})
+}
+
+// PartitionNodes installs a symmetric network partition: messages
+// between nodes in different sets are dropped, traffic within a set is
+// untouched. Nodes absent from every set communicate freely with
+// everyone. Heal with HealNetwork.
+func (c *Cluster) PartitionNodes(sets ...[]int) {
+	side := make(map[int]int)
+	for i, s := range sets {
+		for _, n := range s {
+			side[n] = i + 1
+		}
+	}
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	if c.links == nil {
+		c.links = make(map[[2]int]LinkFault)
+	}
+	for a := 0; a < len(c.nodes); a++ {
+		for b := 0; b < len(c.nodes); b++ {
+			if a == b || side[a] == 0 || side[b] == 0 || side[a] == side[b] {
+				continue
+			}
+			c.links[[2]int{a, b}] = LinkFault{Drop: true}
+		}
+	}
+}
+
+// IsolateNode cuts node i off from every peer in both directions — the
+// classic "leader behind a partition" scenario. Heal with HealNetwork.
+func (c *Cluster) IsolateNode(i int) {
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	if c.links == nil {
+		c.links = make(map[[2]int]LinkFault)
+	}
+	for p := range c.nodes {
+		if p == i {
+			continue
+		}
+		c.links[[2]int{i, p}] = LinkFault{Drop: true}
+		c.links[[2]int{p, i}] = LinkFault{Drop: true}
+	}
+}
+
+// HealNetwork removes every link fault.
+func (c *Cluster) HealNetwork() {
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	c.links = nil
+}
+
+// linkFault answers the replication transport's per-message question:
+// is this directed message dropped, and how much extra latency does it
+// incur. Probabilistic drops use the cluster's seeded fault rng.
+func (c *Cluster) linkFault(from, to int) (drop bool, delay time.Duration) {
+	c.netMu.Lock()
+	defer c.netMu.Unlock()
+	f, ok := c.links[[2]int{from, to}]
+	if !ok {
+		return false, 0
+	}
+	if f.Drop {
+		return true, 0
+	}
+	if f.DropProb > 0 && c.netRng.Float64() < f.DropProb {
+		return true, 0
+	}
+	delay = f.Delay
+	if f.Reorder && delay > 0 {
+		delay = time.Duration(c.netRng.Int63n(int64(delay) + 1))
+	}
+	return false, delay
+}
+
 // Fault is one entry of a FaultPlan schedule: when the trigger point
 // fires on the node for the After-th time, inject the fault.
 type Fault struct {
@@ -187,18 +359,24 @@ type Fault struct {
 	After int
 	// Pause injects a pause instead of a crash.
 	Pause bool
+	// Isolate injects a network isolation (IsolateNode) instead of a
+	// crash: the node keeps running but no replication message reaches
+	// it or leaves it. RestartAfter heals the whole network.
+	Isolate bool
 	// RestartAfter schedules an automatic Restart (or Resume, for
-	// pauses) this long after the fault fires; zero leaves the node down
-	// until the test restarts it.
+	// pauses; HealNetwork, for isolations) this long after the fault
+	// fires; zero leaves the node down until the test restarts it.
 	RestartAfter time.Duration
 }
 
 // FaultStats summarises what a FaultPlan actually injected.
 type FaultStats struct {
-	Crashes  int
-	Pauses   int
-	Restarts int
-	Resumes  int
+	Crashes    int
+	Pauses     int
+	Isolations int
+	Restarts   int
+	Resumes    int
+	Heals      int
 	// Recovery aggregates the RecoveryStats of every automatic restart.
 	Recovery RecoveryStats
 }
@@ -250,16 +428,22 @@ func (p *FaultPlan) hook(point TriggerPoint, node int) {
 		return
 	}
 	f := *fault
-	if f.Pause {
+	switch {
+	case f.Pause:
 		p.stats.Pauses++
-	} else {
+	case f.Isolate:
+		p.stats.Isolations++
+	default:
 		p.stats.Crashes++
 	}
 	p.mu.Unlock()
 
-	if f.Pause {
+	switch {
+	case f.Pause:
 		p.co.c.Pause(f.Node)
-	} else {
+	case f.Isolate:
+		p.co.c.IsolateNode(f.Node)
+	default:
 		p.co.c.Crash(f.Node)
 	}
 	if f.RestartAfter <= 0 {
@@ -273,6 +457,13 @@ func (p *FaultPlan) hook(point TriggerPoint, node int) {
 			p.co.c.Resume(f.Node)
 			p.mu.Lock()
 			p.stats.Resumes++
+			p.mu.Unlock()
+			return
+		}
+		if f.Isolate {
+			p.co.c.HealNetwork()
+			p.mu.Lock()
+			p.stats.Heals++
 			p.mu.Unlock()
 			return
 		}
@@ -352,8 +543,11 @@ func RandomFaults(seed int64, count, nodes, maxOccurrence int, restartMin, resta
 // String aids debugging of schedules.
 func (f Fault) String() string {
 	kind := "crash"
-	if f.Pause {
+	switch {
+	case f.Pause:
 		kind = "pause"
+	case f.Isolate:
+		kind = "isolate"
 	}
 	return fmt.Sprintf("%s node %d at %v#%d (restart after %v)", kind, f.Node, f.Point, f.After, f.RestartAfter)
 }

@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"schism/internal/cluster/repl"
 	"schism/internal/cluster/wal"
+	"schism/internal/datum"
 	"schism/internal/sqlparse"
 	"schism/internal/storage"
 	"schism/internal/txn"
@@ -33,14 +35,34 @@ type request struct {
 	epoch   uint64
 	stmt    sqlparse.Statement
 	capture bool // ask the executor to report accessed keys
-	sentAt  time.Time
-	reply   chan response
+	// replRead marks a read the router deliberately sent to a chosen
+	// replica of a group: a follower may serve it locally (lock-free,
+	// committed prefix) while its lease is valid; the leader serves it
+	// through the normal locked path.
+	replRead bool
+	// twoPhase marks a commit that concluded a prepare round: the
+	// prepare entry is in the group log, so a leader with no local trace
+	// of the transaction may still replicate the decision.
+	twoPhase bool
+	// cont marks a statement of a transaction that already executed on
+	// this group/node: participant state MUST exist. Its absence means
+	// the state died (crash+restart, or a leader deposition sweep) along
+	// with the earlier statements' effects — executing on a silently
+	// fresh state would let a partial transaction commit, so the node
+	// refuses and the whole transaction retries.
+	cont   bool
+	sentAt time.Time
+	reply  chan response
 }
 
 type response struct {
-	rows   []storage.Row
-	n      int     // rows affected for writes
-	keys   []int64 // accessed keys, populated only when request.capture
+	rows []storage.Row
+	n    int     // rows affected for writes
+	keys []int64 // accessed keys, populated only when request.capture
+	// locked reports that the statement ran under the native locked path
+	// (a replica-routed read served by the member that happens to lead
+	// holds locks; the router must treat the group as a participant).
+	locked bool
 	err    error
 	sentAt time.Time
 }
@@ -97,6 +119,14 @@ type Node struct {
 
 	tmu  sync.Mutex
 	txns map[txn.TS]*txnState
+
+	// grp is this node's consensus-group membership (nil: replication
+	// off). The pointer swaps to a fresh runtime on restart.
+	grp atomic.Pointer[groupRuntime]
+	// leaderGate serializes statement execution against deposition:
+	// execute/prepare hold it shared, the RoleChange(follower) sweep
+	// that rolls back unprepared transactions holds it exclusively.
+	leaderGate sync.RWMutex
 }
 
 // txnState is 2PC participant state for one transaction on this node.
@@ -238,17 +268,26 @@ func (n *Node) serve(r *request) {
 		spinWait(n.cfg.ServiceTime)
 	}
 	var resp response
+	gr := n.grp.Load()
 	switch r.kind {
 	case reqExec:
 		n.ops.Add(1)
-		resp = n.execStmt(r.ts, r.epoch, r.stmt, r.capture)
+		if gr != nil {
+			resp = n.execReplicated(gr, r)
+		} else {
+			resp = n.execStmt(r.ts, r.epoch, r.stmt, r.capture, r.cont)
+		}
 	case reqPrepare:
 		n.trigger(BeforePrepareAck)
 		n.pauseGate()
 		if n.down() {
 			resp.err = n.downErr()
 		} else {
-			resp.err = n.prepare(r.ts, r.epoch)
+			if gr != nil {
+				resp.err = n.prepareReplicated(gr, r.ts, r.epoch)
+			} else {
+				resp.err = n.prepare(r.ts, r.epoch)
+			}
 			if resp.err == nil {
 				// The durable yes vote will be acked no matter what happens
 				// to the node now: fire the in-doubt trigger before the
@@ -261,14 +300,241 @@ func (n *Node) serve(r *request) {
 		n.pauseGate()
 		if n.down() {
 			resp.err = n.downErr()
+		} else if gr != nil {
+			resp.err = n.commitReplicated(gr, r)
 		} else {
 			n.commit(r.ts)
 		}
 	case reqAbort:
-		n.abort(r.ts, r.epoch)
+		if gr != nil {
+			n.abortReplicated(gr, r.ts, r.epoch)
+		} else {
+			n.abort(r.ts, r.epoch)
+		}
 	}
 	resp.sentAt = time.Now()
 	r.reply <- resp
+}
+
+// notLeaderErr builds the redirect reply for a request that needs the
+// group leader but landed elsewhere.
+func (n *Node) notLeaderErr(gr *groupRuntime) error {
+	return &LeaderHintError{Group: gr.group, Leader: gr.rep.Leader()}
+}
+
+// execReplicated executes one statement on a group member. Writes (and
+// reads the router pinned to the leader) run the native locked path,
+// gated on ready leadership; replica-routed reads may be served by a
+// lease-valid follower from its committed prefix, lock-free.
+func (n *Node) execReplicated(gr *groupRuntime, r *request) response {
+	if gr.leading.Load() {
+		n.leaderGate.RLock()
+		if !gr.leading.Load() { // deposed between check and gate
+			n.leaderGate.RUnlock()
+			return response{err: n.notLeaderErr(gr)}
+		}
+		resp := n.execStmt(r.ts, r.epoch, r.stmt, r.capture, r.cont)
+		n.leaderGate.RUnlock()
+		resp.locked = true
+		return resp
+	}
+	if !r.replRead {
+		return response{err: n.notLeaderErr(gr)}
+	}
+	// Follower local read: sound only while the lease says this replica
+	// is current, and only when the image holds no in-place writes of
+	// undecided transactions (a deposed leader's prepared natives sit in
+	// the image until their fate entry arrives).
+	if !gr.rep.LeaseValid() || n.hasPreparedNative() {
+		return response{err: fmt.Errorf("cluster: node %d: %w", n.ID, ErrLeaseExpired)}
+	}
+	sel, ok := r.stmt.(*sqlparse.Select)
+	if !ok || sel.ForUpdate {
+		return response{err: n.notLeaderErr(gr)}
+	}
+	return n.execSelectAt(r.ts, sel, r.capture, false)
+}
+
+func (n *Node) hasPreparedNative() bool {
+	n.tmu.Lock()
+	defer n.tmu.Unlock()
+	for _, st := range n.txns {
+		if st.prepared {
+			return true
+		}
+	}
+	return false
+}
+
+// prepareReplicated is the 2PC vote on a group leader: the vote is a
+// quorum-durable promise. The redo write-set (after-images) is proposed
+// to the group log; only once that entry is COMMITTED — quorum-
+// replicated in the leader's current term, so present in every future
+// leader's log — does the node log its native prepare record and ack
+// yes. A crash of any minority after the ack therefore cannot lose the
+// promise: the new leader re-adopts the entry as in-doubt.
+func (n *Node) prepareReplicated(gr *groupRuntime, ts txn.TS, epoch uint64) error {
+	if !gr.leading.Load() {
+		return n.notLeaderErr(gr)
+	}
+	n.tmu.Lock()
+	st := n.txns[ts]
+	if st == nil {
+		n.tmu.Unlock()
+		return fmt.Errorf("cluster: vote no: participant state lost: %w", ErrNodeDown)
+	}
+	if st.epoch != epoch {
+		n.tmu.Unlock()
+		return errors.New("cluster: vote no: stale prepare from a superseded attempt")
+	}
+	if st.doomed {
+		n.tmu.Unlock()
+		return errors.New("cluster: vote no")
+	}
+	redo := n.buildRedoLocked(st.undo)
+	idx, err := gr.rep.Propose(repl.Entry{Kind: repl.KPrepare, TS: uint64(ts), Epoch: epoch, Redo: redo})
+	n.tmu.Unlock()
+	if err != nil {
+		return n.notLeaderErr(gr)
+	}
+	bound := n.cfg.RPCTimeout
+	if bound <= 0 {
+		bound = n.cfg.LockTimeout
+	}
+	if werr := gr.rep.WaitCommitted(idx, bound); werr != nil {
+		// Quorum unreachable (or deposed): the entry MAY still commit
+		// later, but without the ack the coordinator aborts — kill the
+		// would-be pending so it cannot outlive the transaction. Presumed
+		// abort makes the no vote safe either way.
+		gr.rep.Propose(repl.Entry{Kind: repl.KAbort, TS: uint64(ts), Epoch: epoch})
+		return fmt.Errorf("cluster: vote no: prepare not replicated: %w", ErrRPCTimeout)
+	}
+	n.tmu.Lock()
+	if cur := n.txns[ts]; cur != st || cur.epoch != epoch {
+		// Aborted while the quorum round ran (deposition sweep or a
+		// concurrent abort): the pending created by our entry is cleaned
+		// by the abort's own entry or the resolver.
+		n.tmu.Unlock()
+		gr.rep.Propose(repl.Entry{Kind: repl.KAbort, TS: uint64(ts), Epoch: epoch})
+		return errors.New("cluster: vote no: transaction aborted during prepare")
+	}
+	pay := n.wal.AppendPrepareAsync(uint64(ts), writeSet(st.undo))
+	st.prepared = true
+	n.tmu.Unlock()
+	pay()
+	return nil
+}
+
+// buildRedoLocked extracts a transaction's redo write-set: the CURRENT
+// row image (after all its statements) for every key it wrote, nil for
+// keys it deleted. Caller holds tmu; rows are read under the latch.
+func (n *Node) buildRedoLocked(undo []undoRec) []repl.Mutation {
+	n.latch.RLock()
+	defer n.latch.RUnlock()
+	seen := make(map[txn.LockKey]bool, len(undo))
+	redo := make([]repl.Mutation, 0, len(undo))
+	for _, u := range undo {
+		k := txn.LockKey{Table: u.table, Key: u.key}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		m := repl.Mutation{Table: u.table, Key: u.key}
+		if tbl := n.db.Table(u.table); tbl != nil {
+			if row, ok := tbl.Get(u.key); ok {
+				m.Row = append([]datum.D(nil), row...)
+			}
+		}
+		redo = append(redo, m)
+	}
+	return redo
+}
+
+// commitReplicated handles a commit request on a group member. The
+// decision is replicated through the group log and acked only once
+// applied locally (which writes the native commit record or installs
+// the redo). Single-group transactions (no prepare round) ride their
+// redo on the commit entry itself.
+func (n *Node) commitReplicated(gr *groupRuntime, r *request) error {
+	ts := r.ts
+	n.tmu.Lock()
+	st := n.txns[ts]
+	var entry repl.Entry
+	switch {
+	case st != nil && st.prepared:
+		entry = repl.Entry{Kind: repl.KCommit, TS: uint64(ts), Epoch: st.epoch}
+	case st != nil:
+		// One-round commit of a single-group transaction: replicate the
+		// decision with its redo so followers converge.
+		entry = repl.Entry{Kind: repl.KCommit, TS: uint64(ts), Epoch: st.epoch,
+			Redo: n.buildRedoLocked(st.undo)}
+	default:
+		n.tmu.Unlock()
+		gr.pmu.Lock()
+		_, pending := gr.pendings[ts]
+		gr.pmu.Unlock()
+		if !pending && !r.twoPhase {
+			// Single-group commit with no local trace: the executing
+			// leader died or was deposed, and its unprepared writes died
+			// with it. Refuse cleanly so the whole transaction retries.
+			return n.downErr()
+		}
+		if !gr.leading.Load() {
+			return n.notLeaderErr(gr)
+		}
+		// 2PC decision for an in-doubt entry inherited from a dead
+		// leader (pending — or not yet applied, in which case the prepare
+		// entry is still provably in our log: it was quorum-committed
+		// before the coordinator could decide).
+		entry = repl.Entry{Kind: repl.KCommit, TS: uint64(ts)}
+		n.tmu.Lock()
+	}
+	if !gr.leading.Load() {
+		n.tmu.Unlock()
+		return n.notLeaderErr(gr)
+	}
+	idx, err := gr.rep.Propose(entry)
+	n.tmu.Unlock()
+	if err != nil {
+		return n.notLeaderErr(gr)
+	}
+	bound := n.cfg.RPCTimeout
+	if bound <= 0 {
+		bound = n.cfg.LockTimeout
+	}
+	if werr := gr.rep.WaitApplied(idx, bound); werr != nil {
+		// Proposed but not confirmed applied: the commit may still land.
+		// Deliberately NOT ErrNodeDown — the outcome is unknown, and a
+		// retry could double-execute. The decision record + resolver
+		// finish the job.
+		return fmt.Errorf("cluster: commit outcome unknown on node %d: %v", n.ID, werr)
+	}
+	return nil
+}
+
+// abortReplicated rolls back the native branch (epoch-guarded) and, on
+// the leader, replicates the abort fate if the transaction ever
+// produced a durable prepare entry. The proposal is synchronous (local
+// log append) so it is ordered BEFORE any later attempt's prepare entry
+// — the epoch guard at apply handles the rest.
+func (n *Node) abortReplicated(gr *groupRuntime, ts txn.TS, epoch uint64) {
+	n.tmu.Lock()
+	st := n.txns[ts]
+	wasPrepared := false
+	if st != nil && st.epoch == epoch {
+		wasPrepared = st.prepared
+		n.rollbackLocked(ts, st)
+	}
+	n.tmu.Unlock()
+	if !gr.leading.Load() {
+		return
+	}
+	gr.pmu.Lock()
+	_, pending := gr.pendings[ts]
+	gr.pmu.Unlock()
+	if wasPrepared || pending {
+		gr.rep.Propose(repl.Entry{Kind: repl.KAbort, TS: uint64(ts), Epoch: epoch})
+	}
 }
 
 // pauseGate parks the calling worker while the node is paused (a fault
@@ -297,7 +563,7 @@ func (n *Node) state(ts txn.TS) *txnState {
 	return st
 }
 
-func (n *Node) execStmt(ts txn.TS, epoch uint64, stmt sqlparse.Statement, capture bool) response {
+func (n *Node) execStmt(ts txn.TS, epoch uint64, stmt sqlparse.Statement, capture, cont bool) response {
 	n.tmu.Lock()
 	st := n.txns[ts]
 	if st != nil && st.epoch != epoch {
@@ -310,6 +576,16 @@ func (n *Node) execStmt(ts txn.TS, epoch uint64, stmt sqlparse.Statement, captur
 		st = nil
 	}
 	if st == nil {
+		if cont {
+			// The coordinator already executed statements of this attempt
+			// here, and that state is gone — lost to a crash+restart or a
+			// leader deposition sweep. Starting fresh would let a PARTIAL
+			// transaction prepare and commit; refuse so the whole
+			// transaction retries.
+			n.tmu.Unlock()
+			return response{err: fmt.Errorf(
+				"cluster: node %d: participant state lost mid-transaction: %w", n.ID, ErrNodeDown)}
+		}
 		st = &txnState{epoch: epoch}
 		n.txns[ts] = st
 	}

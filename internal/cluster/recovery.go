@@ -107,14 +107,25 @@ func (c *Cluster) Restart(i int, decide DecisionFn) (RecoveryStats, error) {
 		time.Sleep(20 * time.Microsecond)
 	}
 	stats := n.recover(decide, c.cfg)
+	if c.replicated() {
+		// Rejoin the consensus group: a fresh replica runtime around the
+		// crash-surviving durable log. It rebuilds its pending set from the
+		// log, catches up from the current leader (or stands for election),
+		// and the group's fate entries re-resolve anything recover() could
+		// not — both are idempotent against the other.
+		n.startGroup(c, c.durables[i])
+	}
 	n.status.Store(int32(statusRunning))
 	return stats, nil
 }
 
 // RestartNode restarts a crashed node with this coordinator's decision
-// record answering the termination protocol.
+// record answering the termination protocol. With replication on, the
+// decision record is keyed by the node's GROUP — participants of a
+// replicated 2PC are groups, not nodes.
 func (co *Coordinator) RestartNode(i int) (RecoveryStats, error) {
-	return co.c.Restart(i, func(ts txn.TS) Decision { return co.Decision(ts, i) })
+	p := co.c.GroupOf(i)
+	return co.c.Restart(i, func(ts txn.TS) Decision { return co.Decision(ts, p) })
 }
 
 // recover rebuilds the node from its durable state (storage image +

@@ -104,6 +104,57 @@ func TestPickReplicaPrefersTouchedNode(t *testing.T) {
 	}
 }
 
+// TestPickReplicaFailsOverFromDownNode pins the stickiness failover
+// rule: a replica the transaction is sticky on (already touched) that
+// crashes or pauses is skipped and the pick re-seeded among the live
+// candidates, so replicated reads keep working mid-transaction instead
+// of chasing the dead replica until the transaction starves.
+func TestPickReplicaFailsOverFromDownNode(t *testing.T) {
+	for _, pause := range []bool{false, true} {
+		name := "crash"
+		if pause {
+			name = "pause"
+		}
+		t.Run(name, func(t *testing.T) {
+			c, co := newReplicatedCluster(t, 3, 0, 6)
+			defer c.Close()
+			tx := co.Begin()
+			defer tx.Abort()
+			if _, err := tx.Exec("SELECT * FROM account WHERE id = 0"); err != nil {
+				t.Fatal(err)
+			}
+			var sticky int
+			for nid := range tx.touched {
+				sticky = nid
+			}
+			if pause {
+				c.Pause(sticky)
+			} else {
+				c.Crash(sticky)
+			}
+			// The sticky replica is gone; the read must be served by a live
+			// one. (Without failover this would hit the dead node: an
+			// ErrNodeDown failure on crash, a wedge on pause.)
+			rows, err := tx.Exec("SELECT * FROM account WHERE id = 1")
+			if err != nil || len(rows) != 1 {
+				t.Fatalf("replicated read through %s of sticky node %d: rows=%v err=%v",
+					name, sticky, rows, err)
+			}
+			if len(tx.touched) != 2 {
+				t.Fatalf("read did not re-seed to a live replica: touched=%v", tx.touched)
+			}
+			if pause {
+				c.Resume(sticky)
+			} else {
+				tx.Abort()
+				if _, err := co.RestartNode(sticky); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestReadAnywhereWriteAll checks replicated-tuple correctness: a write
 // must reach every replica (and count as distributed), and any replica
 // then serves the new value.

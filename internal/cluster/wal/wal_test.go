@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -241,6 +243,97 @@ func TestWALCompaction(t *testing.T) {
 	}
 	if tl := an.Txns[1001]; tl == nil || tl.Status != StatusActive || len(tl.Undo) != 1 {
 		t.Fatalf("active txn mangled by compaction: %+v", tl)
+	}
+}
+
+// Compaction rewrites the buffer in place under the log lock, and a
+// crash can land at any instant around it. Snapshot models the crash
+// (it captures exactly what is durable); every image taken while
+// appenders are constantly tripping compaction must be fully intact —
+// no torn bytes from a half-finished rewrite — and its analysis must
+// still hold a live in-doubt transaction that prepared long before.
+func TestWALCompactionRacesCrash(t *testing.T) {
+	l := New(0, 256) // tiny bound: compaction fires constantly
+	// A pinned in-doubt transaction that every compaction must carry over.
+	l.AppendUpdate(7, "t", 7, row(7, 70), true)
+	l.AppendPrepare(7, []Key{{Table: "t", Key: 7}})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ts := uint64(1000 * (w + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts++
+				l.AppendUpdate(ts, "t", int64(ts), row(int(ts), 1), true)
+				l.AppendCommit(ts)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		img := l.Snapshot() // the crash: whatever is durable right now
+		an := Analyze(img)
+		if an.Bytes != len(img) {
+			t.Fatalf("snapshot during compaction races is torn: %d intact of %d bytes",
+				an.Bytes, len(img))
+		}
+		if tl := an.Txns[7]; tl == nil || tl.Status != StatusPrepared ||
+			len(tl.WriteSet) != 1 || len(tl.Undo) != 1 {
+			t.Fatalf("in-doubt txn lost across compaction: %+v", tl)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if l.Compactions() == 0 {
+		t.Fatal("compaction never ran during the race")
+	}
+}
+
+// A crash can tear the log exactly at the compaction boundary: the
+// compacted prefix is durable and the first record appended after the
+// rewrite is torn. Every cut inside that record must recover exactly
+// the compacted image — the live transactions compaction re-serialized
+// — and discard the torn tail cleanly.
+func TestWALTornTailAtCompactionBoundary(t *testing.T) {
+	l := New(0, 1) // compact on every append
+	for ts := uint64(1); ts <= 20; ts++ {
+		l.AppendUpdate(ts, "t", int64(ts), row(int(ts), 10), true)
+		l.AppendCommit(ts)
+	}
+	l.AppendUpdate(100, "t", 100, row(100, 5), true)
+	l.AppendPrepare(100, []Key{{Table: "t", Key: 100}})
+	if l.Compactions() == 0 {
+		t.Fatal("setup: compaction never ran")
+	}
+	base := l.Snapshot() // the compacted image: txn 100's records only
+	l.AppendUpdate(101, "t", 101, row(101, 6), true)
+	full := l.Snapshot()
+	// Compaction re-serializes live transactions in timestamp order, so
+	// the pre-append compacted image is a byte prefix of the new one.
+	if len(full) <= len(base) || !bytes.Equal(full[:len(base)], base) {
+		t.Fatalf("compacted image is not a prefix: %d -> %d bytes", len(base), len(full))
+	}
+	for cut := len(base); cut < len(full); cut++ {
+		an := Analyze(full[:cut])
+		if an.Bytes != len(base) {
+			t.Fatalf("cut %d: intact prefix %d bytes, want the compaction boundary %d",
+				cut, an.Bytes, len(base))
+		}
+		if tl := an.Txns[100]; tl == nil || tl.Status != StatusPrepared ||
+			len(tl.WriteSet) != 1 || len(tl.Undo) != 1 {
+			t.Fatalf("cut %d: in-doubt txn mangled at compaction boundary: %+v", cut, tl)
+		}
+		if an.Txns[101] != nil {
+			t.Fatalf("cut %d: torn record leaked into analysis: %+v", cut, an.Txns[101])
+		}
 	}
 }
 

@@ -67,6 +67,12 @@ type Config struct {
 	// HistShards overrides the latency histogram shard count (default:
 	// one shard per client).
 	HistShards int
+	// BucketWidth, when positive, records committed transactions into
+	// fixed-width time buckets counted from the start of the measurement
+	// phase (Result.Buckets). Availability experiments use it to see the
+	// throughput dip around a failover: an empty bucket is a window in
+	// which nothing committed.
+	BucketWidth time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +117,40 @@ type Result struct {
 	// the same (streams, seed, ops) produce identical values regardless
 	// of GOMAXPROCS or scheduling.
 	ClientSigs []uint64
+
+	// Buckets counts committed transactions per BucketWidth-wide window
+	// from the start of the measurement phase (nil unless
+	// Config.BucketWidth was set). The final bucket may cover a partial
+	// window.
+	Buckets     []int64
+	BucketWidth time.Duration
+}
+
+// MinWindow aggregates Buckets into windows of width w (rounded up to a
+// whole number of buckets) and returns the smallest committed count over
+// all FULL windows, with the number of full windows. Availability tests
+// use it to assert "every 1s window committed something" across a
+// failover; -1 when bucketing was off or no full window fits.
+func (r *Result) MinWindow(w time.Duration) (min int64, windows int) {
+	if r.BucketWidth <= 0 || len(r.Buckets) == 0 {
+		return -1, 0
+	}
+	per := int((w + r.BucketWidth - 1) / r.BucketWidth)
+	if per <= 0 {
+		per = 1
+	}
+	min = -1
+	for i := 0; i+per <= len(r.Buckets); i += per {
+		var sum int64
+		for _, v := range r.Buckets[i : i+per] {
+			sum += v
+		}
+		if min < 0 || sum < min {
+			min = sum
+		}
+		windows++
+	}
+	return min, windows
 }
 
 // Throughput returns committed transactions per second.
@@ -224,6 +264,11 @@ func Run(co *cluster.Coordinator, cfg Config, mk StreamMaker) *Result {
 		defer timer.Stop()
 	}
 
+	var bk *bucketCounter
+	if cfg.BucketWidth > 0 {
+		bk = &bucketCounter{width: cfg.BucketWidth, epoch: warmupEnd}
+	}
+
 	var measuredStart, measuredEnd atomic.Int64 // unix nanos of first/last measured txn
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
@@ -283,6 +328,9 @@ func Run(co *cluster.Coordinator, cfg Config, mk StreamMaker) *Result {
 					continue
 				}
 				committed.Add(1)
+				if bk != nil {
+					bk.record(done)
+				}
 				aborts.Add(int64(res.Aborts))
 				if res.Distributed {
 					distributed.Add(1)
@@ -312,6 +360,10 @@ func Run(co *cluster.Coordinator, cfg Config, mk StreamMaker) *Result {
 		StmtLatency:     stmtLat.Merged(),
 		ClientSigs:      sigs,
 	}
+	if bk != nil {
+		res.Buckets = bk.counts
+		res.BucketWidth = cfg.BucketWidth
+	}
 	endOps := co.Cluster().NodeOps()
 	res.NodeOps = make([]int64, len(endOps))
 	for i := range endOps {
@@ -321,6 +373,31 @@ func Run(co *cluster.Coordinator, cfg Config, mk StreamMaker) *Result {
 		res.Elapsed = time.Duration(e - s)
 	}
 	return res
+}
+
+// bucketCounter files each committed transaction into the fixed-width
+// window its commit time falls in, growing the slice as the run extends
+// (ops mode has no known duration up front). The per-commit mutex is
+// noise next to executing a transaction.
+type bucketCounter struct {
+	mu     sync.Mutex
+	width  time.Duration
+	epoch  time.Time
+	counts []int64
+}
+
+func (b *bucketCounter) record(done time.Time) {
+	since := done.Sub(b.epoch)
+	if since < 0 {
+		return
+	}
+	i := int(since / b.width)
+	b.mu.Lock()
+	for len(b.counts) <= i {
+		b.counts = append(b.counts, 0)
+	}
+	b.counts[i]++
+	b.mu.Unlock()
 }
 
 // stampRange widens the [lo, hi] unix-nano window to include one

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"schism/internal/cluster"
+	"schism/internal/datum"
+	"schism/internal/driver"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// The failover experiment measures what replication buys and what it
+// costs. For each replication factor it runs the same transfer workload
+// twice on a group-replicated cluster: once fault-free (the replication
+// overhead: quorum appends on every commit) and once with the leader of
+// group 0 killed mid-run (the availability story: how long until a new
+// leader serves, how deep the throughput dip, how fast it refills). The
+// driver's fixed-width commit buckets resolve the dip directly.
+
+// FailoverConfig parameterises the experiment.
+type FailoverConfig struct {
+	// Groups is the number of consensus groups (default 2).
+	Groups int
+	// KeysPerGroup sizes each group's account shard (default 16).
+	KeysPerGroup int
+	// Clients is the number of closed-loop driver clients (default 4).
+	Clients int
+	// Measure is the per-run measurement window; the crash fires at
+	// Measure/3 (default from Scale).
+	Measure time.Duration
+	// BucketWidth is the availability-bucket resolution (default 50ms).
+	BucketWidth time.Duration
+	// Rs lists the replication factors to compare (default 1, 3).
+	Rs []int
+	// Election is the consensus election timeout — the failover-detection
+	// lag a dead leader costs (default 25ms).
+	Election time.Duration
+}
+
+func (c FailoverConfig) withDefaults(s Scale) FailoverConfig {
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+	if c.KeysPerGroup <= 0 {
+		c.KeysPerGroup = 16
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Measure <= 0 {
+		c.Measure = time.Duration(s.scaled(3000, 1500)) * time.Millisecond
+	}
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = 50 * time.Millisecond
+	}
+	if len(c.Rs) == 0 {
+		c.Rs = []int{1, 3}
+	}
+	if c.Election <= 0 {
+		c.Election = 25 * time.Millisecond
+	}
+	return c
+}
+
+// FailoverRow is one replication factor's measurements.
+type FailoverRow struct {
+	R int
+	// BaseTPS is fault-free throughput (replication overhead appears as
+	// the drop from the R=1 row).
+	BaseTPS float64
+	// TPS is throughput of the run that kills group 0's leader.
+	TPS float64
+	// Failover is crash-to-new-leader time (R=1: crash-to-restart, since
+	// the lone replica IS the partition).
+	Failover time.Duration
+	// BaselineBucket is the median pre-crash commit bucket; DipBucket the
+	// smallest bucket after the crash. DipBucket 0 means the cluster was
+	// fully unavailable for at least one bucket.
+	BaselineBucket, DipBucket int64
+	// Recover is crash to the first bucket back at >= half the baseline.
+	Recover time.Duration
+}
+
+// Failover runs the experiment for each configured replication factor.
+func Failover(cfg FailoverConfig, s Scale) ([]FailoverRow, error) {
+	cfg = cfg.withDefaults(s)
+	rows := make([]FailoverRow, 0, len(cfg.Rs))
+	for _, r := range cfg.Rs {
+		row, err := failoverRun(cfg, r)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func failoverCluster(cfg FailoverConfig, r int) (*cluster.Cluster, *cluster.Coordinator, error) {
+	strat := &partition.Hash{K: cfg.Groups, KeyColumn: map[string]string{"account": "id"}}
+	total := cfg.Groups * cfg.KeysPerGroup
+	c := cluster.New(cluster.Config{
+		Nodes:             cfg.Groups * r,
+		ReplicationFactor: r,
+		LockTimeout:       500 * time.Millisecond,
+		RPCTimeout:        20 * time.Millisecond,
+		ReplHeartbeat:     2 * time.Millisecond,
+		ReplElection:      cfg.Election,
+		ReplSeed:          19,
+	}, func(node int) *storage.Database {
+		group := node / r
+		db := storage.NewDatabase()
+		tbl := db.MustCreateTable(&storage.TableSchema{
+			Name: "account",
+			Columns: []storage.Column{
+				{Name: "id", Type: storage.IntCol},
+				{Name: "bal", Type: storage.IntCol},
+			},
+			Key: "id",
+		})
+		for k := 0; k < total; k++ {
+			id := int64(k)
+			if strat.Locate(workload.TupleID{Table: "account", Key: id}, nil)[0] != group {
+				continue
+			}
+			if err := tbl.Insert(storage.Row{datum.NewInt(id), datum.NewInt(1000)}); err != nil {
+				return nil
+			}
+		}
+		return db
+	})
+	co := cluster.NewCoordinator(c, strat)
+	if !c.WaitForLeaders(2 * time.Second) {
+		c.Close()
+		return nil, nil, fmt.Errorf("failover: no leaders elected at R=%d", r)
+	}
+	return c, co, nil
+}
+
+// failoverStream is the transfer mix: single-unit moves between random
+// accounts, a blend of single-group and cross-group 2PC transactions.
+func failoverStream(total int) driver.StreamMaker {
+	return func(client int, seed int64) driver.Stream {
+		rng := rand.New(rand.NewSource(seed + 31*int64(client)))
+		return driver.StreamFunc(func() driver.Op {
+			from := rng.Intn(total)
+			to := rng.Intn(total - 1)
+			if to >= from {
+				to++
+			}
+			return driver.Op{
+				Sig: fmt.Sprintf("tr %d %d", from, to),
+				Run: func(t *cluster.Txn) error {
+					if _, err := t.Exec(fmt.Sprintf("UPDATE account SET bal = bal - 1 WHERE id = %d", from)); err != nil {
+						return err
+					}
+					_, err := t.Exec(fmt.Sprintf("UPDATE account SET bal = bal + 1 WHERE id = %d", to))
+					return err
+				},
+			}
+		})
+	}
+}
+
+func failoverRun(cfg FailoverConfig, r int) (FailoverRow, error) {
+	row := FailoverRow{R: r}
+	total := cfg.Groups * cfg.KeysPerGroup
+	dcfg := driver.Config{
+		Clients:     cfg.Clients,
+		Measure:     cfg.Measure,
+		Seed:        29,
+		BucketWidth: cfg.BucketWidth,
+	}
+
+	// Fault-free pass: the steady-state cost of quorum replication.
+	c, co, err := failoverCluster(cfg, r)
+	if err != nil {
+		return row, err
+	}
+	base := driver.Run(co, dcfg, failoverStream(total))
+	c.Close()
+	row.BaseTPS = base.Throughput()
+
+	// Crash pass: kill group 0's leader a third of the way in.
+	c, co, err = failoverCluster(cfg, r)
+	if err != nil {
+		return row, err
+	}
+	defer c.Close()
+	crashDelay := cfg.Measure / 3
+	restartAfter := cfg.Measure / 6
+	var crashedAt, ledAt time.Time
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		time.Sleep(crashDelay)
+		victim := c.LeaderOf(0)
+		if r == 1 {
+			victim = 0 // the lone member IS the partition
+		}
+		if victim < 0 {
+			return
+		}
+		crashedAt = time.Now()
+		c.Crash(victim)
+		if r > 1 {
+			// Time to a NEW leader actually serving.
+			for {
+				if l := c.LeaderOf(0); l >= 0 && l != victim {
+					ledAt = time.Now()
+					break
+				}
+				if time.Since(crashedAt) > 5*time.Second {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		time.Sleep(restartAfter)
+		if _, err := co.RestartNode(victim); err == nil && r == 1 {
+			ledAt = time.Now() // availability returns with the restart
+		}
+	}()
+	res := driver.Run(co, dcfg, failoverStream(total))
+	<-done
+	row.TPS = res.Throughput()
+	if crashedAt.IsZero() || ledAt.IsZero() {
+		return row, fmt.Errorf("failover: crash choreography failed at R=%d", r)
+	}
+	row.Failover = ledAt.Sub(crashedAt)
+
+	// Bucket analysis around the crash. The driver's epoch is the run
+	// start (no warmup), so the crash lands in bucket crashIdx.
+	crashIdx := int(crashedAt.Sub(start) / cfg.BucketWidth)
+	b := res.Buckets
+	if crashIdx < 1 || crashIdx >= len(b) {
+		return row, fmt.Errorf("failover: crash bucket %d outside run (%d buckets)", crashIdx, len(b))
+	}
+	pre := append([]int64(nil), b[:crashIdx]...)
+	sort.Slice(pre, func(i, j int) bool { return pre[i] < pre[j] })
+	row.BaselineBucket = pre[len(pre)/2]
+	row.DipBucket = b[crashIdx]
+	row.Recover = time.Duration(len(b)-crashIdx) * cfg.BucketWidth // pessimistic default
+	for i := crashIdx; i < len(b); i++ {
+		if b[i] < row.DipBucket {
+			row.DipBucket = b[i]
+		}
+		if b[i] >= (row.BaselineBucket+1)/2 {
+			row.Recover = time.Duration(i-crashIdx) * cfg.BucketWidth
+			break
+		}
+	}
+	return row, nil
+}
+
+// PrintFailover renders the experiment table.
+func PrintFailover(w io.Writer, rows []FailoverRow) {
+	fmt.Fprintln(w, "Failover: availability through a leader crash vs replication factor")
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.R),
+			fmt.Sprintf("%.0f", r.BaseTPS),
+			fmt.Sprintf("%.0f", r.TPS),
+			r.Failover.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", r.BaselineBucket),
+			fmt.Sprintf("%d", r.DipBucket),
+			r.Recover.Round(time.Millisecond).String(),
+		})
+	}
+	table(w, []string{"R", "fault-free tps", "crash-run tps", "failover", "baseline/bucket", "dip/bucket", "recover"}, out)
+}

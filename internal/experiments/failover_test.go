@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFailoverExperiment is the acceptance gate for the availability
+// claim: with R=3, a leader crash costs milliseconds of failover and the
+// cluster keeps committing, while R=1 is dark until the restart.
+func TestFailoverExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second failover runs belong to the chaos CI job")
+	}
+	rows, err := Failover(FailoverConfig{}, Scale{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintFailover(&sb, rows)
+	t.Logf("\n%s", sb.String())
+
+	if len(rows) != 2 || rows[0].R != 1 || rows[1].R != 3 {
+		t.Fatalf("rows = %+v, want R=1 and R=3", rows)
+	}
+	for _, r := range rows {
+		if r.BaseTPS <= 0 || r.TPS <= 0 {
+			t.Errorf("R=%d: no throughput (base=%.0f crash=%.0f)", r.R, r.BaseTPS, r.TPS)
+		}
+		if r.Failover <= 0 {
+			t.Errorf("R=%d: failover time not measured", r.R)
+		}
+		if r.BaselineBucket <= 0 {
+			t.Errorf("R=%d: empty pre-crash baseline bucket", r.R)
+		}
+	}
+	// Electing a standing replica must be far faster than restarting and
+	// replaying the only copy (the quick-mode restart delay is 250ms).
+	if rows[1].Failover >= rows[0].Failover {
+		t.Errorf("R=3 failover %v not below R=1 restart %v", rows[1].Failover, rows[0].Failover)
+	}
+}
+
+// BenchmarkFailover snapshots the failover metrics for scripts/bench.sh:
+// per-R fault-free throughput (the replication overhead), crash-run
+// throughput, time-to-new-leader, dip depth, and time-to-recover.
+func BenchmarkFailover(b *testing.B) {
+	var rows []FailoverRow
+	for i := 0; i < b.N; i++ {
+		r, err := Failover(FailoverConfig{}, Scale{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		pre := fmt.Sprintf("r%d", r.R)
+		b.ReportMetric(r.BaseTPS, pre+"-base-tps")
+		b.ReportMetric(r.TPS, pre+"-crash-tps")
+		b.ReportMetric(float64(r.Failover)/float64(time.Millisecond), pre+"-failover-ms")
+		b.ReportMetric(float64(r.DipBucket), pre+"-dip-bucket")
+		b.ReportMetric(float64(r.Recover)/float64(time.Millisecond), pre+"-recover-ms")
+	}
+}

@@ -127,6 +127,93 @@ func TestExecutorMovesTuplesAndFlipsRouting(t *testing.T) {
 	}
 }
 
+// TestExecutorMovesTuplesOnReplicatedCluster re-runs the basic migration
+// on a group-replicated cluster: partition ids are GROUP ids, so every
+// copy/delete in the plan must route through the group leaders and
+// replicate to every member before the routing flip becomes visible.
+func TestExecutorMovesTuplesOnReplicatedCluster(t *testing.T) {
+	const groups, r, total = 2, 2, 8
+	place := func(key int64) int { return int(key) % groups }
+	c := cluster.New(cluster.Config{
+		Nodes:             groups * r,
+		ReplicationFactor: r,
+		LockTimeout:       2 * time.Second,
+		ReplHeartbeat:     2 * time.Millisecond,
+		ReplElection:      25 * time.Millisecond,
+		ReplSeed:          5,
+	}, func(node int) *storage.Database {
+		group := node / r
+		db := storage.NewDatabase()
+		tbl := db.MustCreateTable(accountSchema())
+		for k := 0; k < total; k++ {
+			if place(int64(k)) != group {
+				continue
+			}
+			if err := tbl.Insert(storage.Row{datum.NewInt(int64(k)), datum.NewInt(1000)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	})
+	defer c.Close()
+	full := storage.NewDatabase()
+	tbl := full.MustCreateTable(accountSchema())
+	for k := 0; k < total; k++ {
+		if err := tbl.Insert(storage.Row{datum.NewInt(int64(k)), datum.NewInt(1000)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	strat, tables := DeployLookup(full, groups, map[string]string{"account": "id"},
+		func(id workload.TupleID) []int { return []int{place(id.Key)} })
+	co := cluster.NewCoordinator(c, strat)
+	if !c.WaitForLeaders(2 * time.Second) {
+		t.Fatal("no leaders elected")
+	}
+
+	exec := NewExecutor(co, map[string]*storage.TableSchema{"account": accountSchema()}, tables)
+	// Move keys 0 and 2 from group 0 to group 1.
+	plan := BuildPlan(
+		[]workload.TupleID{{Table: "account", Key: 0}, {Table: "account", Key: 2}},
+		func(id workload.TupleID) []int {
+			p, _ := tables["account"].Locate(id.Key)
+			return p
+		},
+		[][]int{{1}, {1}},
+	)
+	stats := exec.Apply(plan)
+	if stats.Moved != 2 || stats.Skipped != 0 || stats.FailedBatches != 0 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if err := co.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitReplicated(5 * time.Second) {
+		t.Fatal("replicas did not converge after migration")
+	}
+	// EVERY member of group 1 holds the moved keys; no member of group 0.
+	for node := 0; node < groups*r; node++ {
+		g := node / r
+		for _, k := range []int64{0, 2} {
+			_, ok := c.Node(node).DB().Table("account").Get(k)
+			if ok != (g == 1) {
+				t.Fatalf("node %d (group %d) has key %d: %v, want %v", node, g, k, ok, g == 1)
+			}
+		}
+	}
+	// Routing flipped, and the rows stay reachable through SQL.
+	if p, _ := tables["account"].Locate(0); len(p) != 1 || p[0] != 1 {
+		t.Fatalf("key 0 routes to %v, want [1]", p)
+	}
+	tx := co.Begin()
+	defer tx.Abort()
+	for _, key := range []int64{0, 2, 1} {
+		rows, err := tx.Exec(fmt.Sprintf("SELECT * FROM account WHERE id = %d", key))
+		if err != nil || len(rows) != 1 || rows[0][1].I != 1000 {
+			t.Fatalf("key %d after migration: rows=%v err=%v", key, rows, err)
+		}
+	}
+}
+
 func TestExecutorSkipsVanishedTuples(t *testing.T) {
 	c, co, tables := newMigrationCluster(t, 2, 4)
 	defer c.Close()

@@ -14,7 +14,10 @@
 # and recovery path (BenchmarkWALAppend/BenchmarkWALAnalyze: per-txn
 # logging and recovery-scan cost; BenchmarkRecoveryReplay: WAL replay
 # per restart as replay-ms/records; BenchmarkChaosConvergence: aborts
-# under a crash schedule and converge-ms after it) — with -benchmem,
+# under a crash schedule and converge-ms after it; BenchmarkFailover:
+# per-replication-factor fault-free tps — the replication overhead vs
+# the R=1 rows of BENCH_6 — plus time-to-new-leader ms, availability
+# dip depth, and recover-ms across a leader kill) — with -benchmem,
 # recording the results as JSON so the perf trajectory is tracked PR
 # over PR: BENCH_1.json for PR 1, BENCH_2.json for PR 2, and so on.
 #
@@ -40,11 +43,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC|BenchmarkWALAppend|BenchmarkWALAnalyze|BenchmarkRecoveryReplay|BenchmarkChaosConvergence' -benchmem \
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC|BenchmarkWALAppend|BenchmarkWALAnalyze|BenchmarkRecoveryReplay|BenchmarkChaosConvergence|BenchmarkFailover' -benchmem \
     -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup ./internal/cluster ./internal/cluster/wal ./internal/driver ./internal/experiments | tee "$TXT"
 
 awk '
