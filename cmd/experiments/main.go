@@ -12,7 +12,9 @@
 //	experiments -run all
 //
 // -scale N multiplies dataset sizes (1 = laptop defaults); -quick shrinks
-// them for smoke runs.
+// them for smoke runs. -obs addr serves the current run's metrics
+// registry over HTTP (JSON snapshot at /metrics, expvar at /debug/vars,
+// pprof at /debug/pprof/) while the experiments execute.
 package main
 
 import (
@@ -22,13 +24,24 @@ import (
 	"strings"
 
 	"schism/internal/experiments"
+	"schism/internal/obs"
 )
 
 func main() {
 	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|drift|bench|failover|all")
 	scale := flag.Int("scale", 1, "dataset scale factor")
 	quick := flag.Bool("quick", false, "tiny datasets for smoke runs")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability endpoint on http://%s/metrics\n", addr)
+	}
 
 	s := experiments.Scale{Factor: *scale, Quick: *quick}
 	which := strings.ToLower(*run)
@@ -52,7 +65,7 @@ func main() {
 	do("fig6", func() { experiments.PrintFig6(os.Stdout, experiments.Fig6(experiments.Fig6Config{}, s)) })
 	do("table1", func() { experiments.PrintTable1(os.Stdout, experiments.Table1(s)) })
 	do("bench", func() {
-		res, err := experiments.Bench(experiments.BenchConfig{}, s)
+		res, err := experiments.Bench(experiments.BenchConfig{Obs: true}, s)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)

@@ -14,7 +14,7 @@
 // against a shifting workload (deterministic control-loop simulation plus
 // a live cluster run with tuple migration under traffic):
 //
-//	schism drift -scenario ycsb|tpcc [-scale n] [-quick] [-sim-only]
+//	schism drift -scenario ycsb|tpcc [-scale n] [-quick] [-sim-only] [-obs addr]
 //
 // The bench subcommand runs the end-to-end strategy-comparison benchmark:
 // concurrent closed-loop (or open-loop) clients drive identical TPC-C
@@ -25,6 +25,11 @@
 //
 //	schism bench [-warehouses 8] [-partitions 4] [-clients 8] [-quick]
 //	             [-measure 2s] [-rate 0] [-strategies schism,hash,...]
+//	             [-obs addr]
+//
+// Both subcommands accept -obs addr to serve the run's metrics registry
+// over HTTP while it executes: a JSON snapshot at /metrics, expvar at
+// /debug/vars, and pprof at /debug/pprof/.
 package main
 
 import (
@@ -36,8 +41,24 @@ import (
 	"schism/internal/core"
 	"schism/internal/experiments"
 	"schism/internal/graph"
+	"schism/internal/obs"
 	"schism/internal/workloads"
 )
+
+// serveObs starts the observability HTTP endpoint (JSON metrics snapshot
+// at /metrics, expvar at /debug/vars, pprof at /debug/pprof/) when addr
+// is non-empty.
+func serveObs(addr string) {
+	if addr == "" {
+		return
+	}
+	bound, err := obs.Serve(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schism: obs:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("observability endpoint on http://%s/metrics\n", bound)
+}
 
 // driftMain drives the online-repartitioning experiment.
 func driftMain(args []string) {
@@ -46,7 +67,9 @@ func driftMain(args []string) {
 	scale := fs.Int("scale", 1, "dataset scale factor")
 	quick := fs.Bool("quick", false, "tiny datasets for smoke runs")
 	simOnly := fs.Bool("sim-only", false, "run only the deterministic control-loop simulation")
+	obsAddr := fs.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	fs.Parse(args)
+	serveObs(*obsAddr)
 
 	s := experiments.Scale{Factor: *scale, Quick: *quick}
 	if *simOnly {
@@ -81,12 +104,15 @@ func benchMain(args []string) {
 	scale := fs.Int("scale", 1, "dataset scale factor")
 	quick := fs.Bool("quick", false, "tiny datasets for smoke runs")
 	strategies := fs.String("strategies", "", "comma-separated subset of schism,hash,range,replication")
+	obsAddr := fs.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	fs.Parse(args)
+	serveObs(*obsAddr)
 
 	cfg := experiments.BenchConfig{
 		Warehouses: *warehouses, Partitions: *partitions, Clients: *clients,
 		Warmup: *warmup, Measure: *measure, Rate: *rate,
 		LogForce: *logForce, NetworkDelay: *netDelay, Seed: *seed,
+		Obs: true,
 	}
 	if *strategies != "" {
 		for _, s := range strings.Split(*strategies, ",") {

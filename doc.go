@@ -42,6 +42,19 @@
 // ("Benchmark driver") documents the harness and scripts/bench.sh
 // snapshots the numbers (BENCH_5.json).
 //
+// The whole stack is observable through internal/obs: a registry of
+// counters, gauges and the driver's lock-free HDR histograms (lifted
+// into obs and re-exported by internal/driver), sampled per-transaction
+// span traces across route/prepare/commit/quorum-append/WAL-force, and
+// a bounded event timeline (crashes, elections, lease expiries,
+// migrations, chaos triggers) that resolves a failover into
+// detect→elect→barrier→first-commit. Instrumentation follows a "nil
+// means off" rule — with no registry configured every recording site
+// costs one branch, so the uninstrumented fast path stays the benchmark
+// baseline (DESIGN.md, "Observability"; BENCH_8.json). `-obs addr` on
+// cmd/schism and cmd/experiments serves JSON snapshots, expvar and
+// pprof over HTTP while a run executes.
+//
 // Run the evaluation with cmd/experiments, the partitioner with
 // cmd/schism, the online-repartitioning experiment with `schism drift`
 // or `experiments -run drift`, and the end-to-end benchmark with

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"schism/internal/cluster/repl"
+	"schism/internal/obs"
 	"schism/internal/partition"
 	"schism/internal/storage"
 	"schism/internal/txn"
@@ -98,6 +99,13 @@ type Config struct {
 	// ReplSeed seeds election jitter and probabilistic link faults, so a
 	// seeded chaos schedule replays identically.
 	ReplSeed int64
+
+	// Obs attaches an observability registry: commit/abort/retry
+	// counters, 2PC and replication phase histograms, the fault/election
+	// event timeline, and a snapshot-time collector over WAL, lock and
+	// replication state. Nil (the default) disables all instrumentation;
+	// the hot path then pays one nil check per site (see package obs).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +151,11 @@ type Cluster struct {
 	// installs its decision record here.
 	decider atomic.Pointer[func(txn.TS, int) Decision]
 
+	// obs is Config.Obs (nil when observability is off); timeline is its
+	// event ring, cached so event sites pay one nil check.
+	obs      *obs.Registry
+	timeline *obs.Timeline
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -158,7 +171,12 @@ func New(cfg Config, builddb func(node int) *storage.Database) *Cluster {
 		panic(fmt.Sprintf("cluster: ReplicationFactor %d does not divide Nodes %d",
 			cfg.ReplicationFactor, cfg.Nodes))
 	}
-	c := &Cluster{cfg: cfg, netRng: rand.New(rand.NewSource(cfg.ReplSeed + 1))}
+	c := &Cluster{
+		cfg:      cfg,
+		netRng:   rand.New(rand.NewSource(cfg.ReplSeed + 1)),
+		obs:      cfg.Obs,
+		timeline: cfg.Obs.Timeline(),
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		db := builddb(i)
 		if db == nil {
@@ -179,7 +197,75 @@ func New(cfg Config, builddb func(node int) *storage.Database) *Cluster {
 			n.startGroup(c, c.durables[i])
 		}
 	}
+	c.obs.AddCollector(c.collect)
 	return c
+}
+
+// collect contributes the cluster's subsystem gauges to a registry
+// snapshot: WAL totals, lock-manager contention, replication counters
+// and per-group replication lag. Polled at snapshot time only, so the
+// underlying subsystems carry no obs dependency and no extra hot-path
+// cost.
+func (c *Cluster) collect(set func(name string, v int64)) {
+	var walBytes, walForces, walCompacts int64
+	var lockWaits, lockDies, lockTimeouts int64
+	for _, n := range c.nodes {
+		walBytes += n.wal.BytesAppended()
+		walForces += n.wal.Forces()
+		walCompacts += n.wal.Compactions()
+		st := n.locks.Stats()
+		lockWaits += st.Waits
+		lockDies += st.Dies
+		lockTimeouts += st.Timeouts
+	}
+	set("wal.bytes", walBytes)
+	set("wal.forces", walForces)
+	set("wal.compactions", walCompacts)
+	set("lock.waits", lockWaits)
+	set("lock.dies", lockDies)
+	set("lock.timeouts", lockTimeouts)
+	if !c.replicated() {
+		return
+	}
+	var elections, wins, renewals, lagMax, lagSum int64
+	for g := 0; g < c.NumGroups(); g++ {
+		var leaderLast uint64
+		members := c.GroupMembers(g)
+		sts := make([]repl.Status, 0, len(members))
+		for _, m := range members {
+			st, ok := c.nodes[m].groupStatus()
+			if !ok {
+				continue
+			}
+			sts = append(sts, st)
+			elections += int64(st.Elections)
+			wins += int64(st.LeaderWins)
+			renewals += int64(st.LeaseRenewals)
+			if st.Role == repl.Leader && st.LastIndex > leaderLast {
+				leaderLast = st.LastIndex
+			}
+		}
+		for _, st := range sts {
+			if st.Role == repl.Leader || leaderLast <= st.Applied {
+				continue
+			}
+			lag := int64(leaderLast - st.Applied)
+			lagSum += lag
+			if lag > lagMax {
+				lagMax = lag
+			}
+		}
+	}
+	set("repl.elections", elections)
+	set("repl.leader_wins", wins)
+	set("repl.lease_renewals", renewals)
+	set("repl.lag.max", lagMax)
+	set("repl.lag.sum", lagSum)
+}
+
+// event records a timeline event (no-op when observability is off).
+func (c *Cluster) event(kind string, node, group int, detail string) {
+	c.timeline.Add(kind, node, group, detail)
 }
 
 // NumNodes returns the number of nodes.

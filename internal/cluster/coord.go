@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"schism/internal/obs"
 	"schism/internal/partition"
 	"schism/internal/sqlparse"
 	"schism/internal/storage"
@@ -41,6 +42,63 @@ type Coordinator struct {
 	// an in-doubt transaction.
 	decMu   sync.Mutex
 	commits map[txn.TS][]int
+
+	// mets is the coordinator's instrumentation handle set, nil when the
+	// cluster has no observability registry. Every use is guarded by one
+	// nil check, keeping the disabled hot path free of clock reads.
+	mets *coordMetrics
+}
+
+// coordMetrics resolves the coordinator's metric handles once, so the
+// per-transaction path never takes the registry lock.
+type coordMetrics struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	committed   *obs.Counter
+	distributed *obs.Counter
+	failed      *obs.Counter
+	onePhase    *obs.Counter
+	twoPhase    *obs.Counter
+	retries     map[string]*obs.Counter // keyed by RetryCause
+	backoffNS   *obs.Counter
+
+	route   *obs.Hist // per-statement fan-out latency
+	prepare *obs.Hist // 2PC prepare round (vote collection)
+	commit  *obs.Hist // 2PC commit delivery (first round to last ack)
+}
+
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &coordMetrics{
+		reg:         reg,
+		tracer:      reg.Tracer(),
+		committed:   reg.Counter("txn.committed"),
+		distributed: reg.Counter("txn.distributed"),
+		failed:      reg.Counter("txn.failed"),
+		onePhase:    reg.Counter("txn.commit.one_phase"),
+		twoPhase:    reg.Counter("txn.commit.two_phase"),
+		backoffNS:   reg.Counter("txn.backoff_ns"),
+		retries:     make(map[string]*obs.Counter),
+		route:       reg.Hist("2pc.route"),
+		prepare:     reg.Hist("2pc.prepare"),
+		commit:      reg.Hist("2pc.commit"),
+	}
+	for _, cause := range RetryCauses {
+		m.retries[cause] = reg.Counter("txn.retry." + cause)
+	}
+	return m
+}
+
+// retry counts one retried abort under its classified cause.
+func (m *coordMetrics) retry(cause string) {
+	if c := m.retries[cause]; c != nil {
+		c.Inc()
+		return
+	}
+	m.retries["other"].Inc()
 }
 
 // NewCoordinator attaches a router with the given strategy to the cluster.
@@ -55,6 +113,7 @@ func NewCoordinator(c *Cluster, strategy partition.Strategy) *Coordinator {
 		c: c, strategy: strategy,
 		active:  make(map[txn.TS]struct{}),
 		commits: make(map[txn.TS][]int),
+		mets:    newCoordMetrics(c.obs),
 	}
 	// Group leaders resolving in-doubt entries (failover inheritance) ask
 	// this coordinator's decision record through the cluster.
@@ -242,6 +301,13 @@ type Txn struct {
 	capture CaptureFunc
 	accs    []workload.Access
 
+	// mets mirrors the coordinator's handle set (nil when observability
+	// is off); span is this attempt's sampled trace root, nil for the
+	// (vastly more common) unsampled attempts — every span call below is
+	// nil-safe and free in that case.
+	mets *coordMetrics
+	span *obs.Span
+
 	observer StmtObserver
 	// Per-statement classification of the current attempt. A statement is
 	// counted exactly once however many keys it matches or replicas it
@@ -277,6 +343,10 @@ func (co *Coordinator) begin(system bool) *Txn {
 		co: co, ts: co.c.clock.Next(), epoch: 1, strat: strat, capture: capture, system: system,
 		touched: make(map[int]bool),
 		rng:     rand.New(rand.NewSource(int64(co.c.clock.Next()))),
+		mets:    co.mets,
+	}
+	if t.mets != nil {
+		t.span = t.mets.tracer.Start("txn")
 	}
 	if co.c.replicated() {
 		t.wrote = make(map[int]bool)
@@ -308,6 +378,9 @@ func (t *Txn) reset() {
 	t.epoch++ // new attempt: participants must not honour the old one's messages
 	t.accs = t.accs[:0]
 	t.stmtLocal, t.stmtDist = 0, 0
+	if t.mets != nil {
+		t.span = t.mets.tracer.Start("txn")
+	}
 	t.co.register(t.ts)
 }
 
@@ -397,7 +470,7 @@ func (t *Txn) execOn(stmt sqlparse.Statement, table string, write bool, targets 
 		}
 	}
 	start := time.Time{}
-	if t.observer != nil {
+	if t.observer != nil || t.mets != nil {
 		start = time.Now()
 	}
 	resps := t.fanout(reqExec, stmt, targets)
@@ -427,8 +500,14 @@ func (t *Txn) execOn(stmt sqlparse.Statement, table string, write bool, targets 
 			}
 		}
 	}
-	if t.observer != nil {
-		t.observer(table, write, len(targets), time.Since(start))
+	if t.observer != nil || t.mets != nil {
+		d := time.Since(start)
+		if t.observer != nil {
+			t.observer(table, write, len(targets), d)
+		}
+		if t.mets != nil {
+			t.mets.route.Record(d)
+		}
 	}
 	return rows, nil
 }
@@ -472,12 +551,26 @@ func (t *Txn) fanout(kind reqKind, stmt sqlparse.Statement, targets []int) []res
 		reply chan response
 	}
 	slots := make([]slot, len(targets))
+	var spans []*obs.Span
+	if t.span != nil {
+		spans = make([]*obs.Span, len(targets))
+	}
 	for i, nid := range targets {
 		slots[i].reply = make(chan response, 1)
 		r := &request{kind: kind, ts: t.ts, epoch: t.epoch, stmt: stmt, capture: t.capture != nil, reply: slots[i].reply}
+		if spans != nil {
+			spans[i] = t.span.Child(reqName(kind))
+			spans[i].Annotate("node %d", nid)
+			r.trace = spans[i]
+		}
 		t.touched[nid] = true
 		t.co.c.nodes[nid].send(r)
 	}
+	defer func() {
+		for _, sp := range spans {
+			sp.Finish()
+		}
+	}()
 	out := make([]response, len(targets))
 	rpcTimeout := t.co.c.cfg.RPCTimeout
 	if kind == reqExec {
@@ -561,7 +654,14 @@ func (t *Txn) Commit() error {
 	// recovery (or via the abort fan-out below, which queues behind any
 	// still-pending prepare on a stalled node).
 	t.twoPhase = true
+	prepStart := time.Time{}
+	if t.mets != nil {
+		prepStart = time.Now()
+	}
 	votes := t.fanout(reqPrepare, nil, nodes)
+	if t.mets != nil {
+		t.mets.prepare.Record(time.Since(prepStart))
+	}
 	for _, v := range votes {
 		if v.err != nil {
 			t.fanout(reqAbort, nil, nodes)
@@ -575,8 +675,15 @@ func (t *Txn) Commit() error {
 	// garbage-collected once every participant acked; delivery failures
 	// bound-retry and then leave the record in place.
 	t.co.recordCommit(t.ts, nodes)
+	commitStart := time.Time{}
+	if t.mets != nil {
+		commitStart = time.Now()
+	}
 	if t.deliverCommit(nodes) {
 		t.co.forgetCommit(t.ts)
+	}
+	if t.mets != nil {
+		t.mets.commit.Record(time.Since(commitStart))
 	}
 	t.captured()
 	return nil
@@ -609,9 +716,27 @@ func (t *Txn) deliverCommit(nodes []int) bool {
 	}
 }
 
-// captured delivers the committed transaction's access set to the capture
-// hook.
+// captured runs on every successful commit: it counts the commit,
+// resolves the first-commit watch, closes the attempt's trace span, and
+// delivers the transaction's access set to the capture hook.
 func (t *Txn) captured() {
+	if m := t.mets; m != nil {
+		m.committed.Inc()
+		if len(t.touched) > 1 {
+			m.distributed.Inc()
+		}
+		if t.twoPhase {
+			m.twoPhase.Inc()
+		} else {
+			m.onePhase.Inc()
+		}
+		m.reg.MarkCommit(t.touched)
+		if t.span != nil {
+			t.span.Annotate("committed nodes=%d", len(t.touched))
+			t.span.Finish()
+			t.span = nil
+		}
+	}
 	if t.capture != nil && len(t.accs) > 0 {
 		t.capture(t.accs)
 		t.accs = t.accs[:0]
@@ -624,8 +749,27 @@ func (t *Txn) Abort() {
 	if len(nodes) > 0 {
 		t.fanout(reqAbort, nil, nodes)
 	}
+	if t.span != nil {
+		t.span.Annotate("aborted")
+		t.span.Finish()
+		t.span = nil
+	}
 	t.failed = true
 	t.co.deregister(t.ts)
+}
+
+// reqName is the trace-span label of a protocol message kind.
+func reqName(kind reqKind) string {
+	switch kind {
+	case reqExec:
+		return "exec"
+	case reqPrepare:
+		return "prepare"
+	case reqCommit:
+		return "commit"
+	default:
+		return "abort"
+	}
 }
 
 func touchedNodes(m map[int]bool) []int {
@@ -673,6 +817,39 @@ func IsRetryable(err error) bool {
 
 // Retryable is the historical name for IsRetryable.
 func Retryable(err error) bool { return IsRetryable(err) }
+
+// RetryCauses lists every classification RetryCause can return, in
+// reporting order. Metric names are "txn.retry.<cause>".
+var RetryCauses = []string{
+	"wait-die", "lock-timeout", "lock-shutdown", "node-down",
+	"rpc-timeout", "not-leader", "lease-expired", "other",
+}
+
+// RetryCause classifies a retryable error by root cause, mirroring the
+// error set IsRetryable accepts. This is the single place retry
+// taxonomy lives: the coordinator's retry counters and any operator
+// tooling classify through it, rather than re-matching error chains at
+// scattered call sites. Non-retryable errors classify as "other".
+func RetryCause(err error) string {
+	switch {
+	case errors.Is(err, txn.ErrDie):
+		return "wait-die"
+	case errors.Is(err, txn.ErrTimeout):
+		return "lock-timeout"
+	case errors.Is(err, txn.ErrShutdown):
+		return "lock-shutdown"
+	case errors.Is(err, ErrNodeDown):
+		return "node-down"
+	case errors.Is(err, ErrRPCTimeout):
+		return "rpc-timeout"
+	case errors.Is(err, ErrNotLeader):
+		return "not-leader"
+	case errors.Is(err, ErrLeaseExpired):
+		return "lease-expired"
+	default:
+		return "other"
+	}
+}
 
 // TxnResult summarises one transaction driven through the retry loop.
 type TxnResult struct {
@@ -731,9 +908,15 @@ func (co *Coordinator) runTxn(t *Txn, fn func(*Txn) error) (TxnResult, error) {
 			t.Abort()
 		}
 		if !IsRetryable(ferr) {
+			if m := co.mets; m != nil {
+				m.failed.Inc()
+			}
 			return res, ferr
 		}
 		res.Aborts++
+		if m := co.mets; m != nil {
+			m.retry(RetryCause(ferr))
+		}
 		// Exponential backoff with jitter: a wait-die victim usually died
 		// against a holder that keeps its locks for the rest of a multi-
 		// statement transaction, so immediate retries just die again
@@ -741,9 +924,16 @@ func (co *Coordinator) runTxn(t *Txn, fn func(*Txn) error) (TxnResult, error) {
 		// toward the holder's timescale turns a retry storm into roughly
 		// one retry per conflict; the victim keeps its timestamp, so it
 		// still ages and eventually wins.
-		time.Sleep(retryBackoff(attempt, t.rng))
+		backoff := retryBackoff(attempt, t.rng)
+		if m := co.mets; m != nil {
+			m.backoffNS.Add(int64(backoff))
+		}
+		time.Sleep(backoff)
 		t.reset()
 	}
 	t.co.deregister(t.ts)
+	if m := co.mets; m != nil {
+		m.failed.Inc()
+	}
 	return res, fmt.Errorf("cluster: transaction starved after %d attempts", maxAttempts)
 }

@@ -144,6 +144,7 @@ func (c *Cluster) Crash(i int) {
 	// builds a fresh replica around the surviving Durable.
 	n.stopGroup()
 	n.locks.Close()
+	c.event("crash", i, c.GroupOf(i), "")
 }
 
 // Pause stalls node i, modelling a network partition or a long GC/IO
@@ -160,6 +161,7 @@ func (c *Cluster) Pause(i int) {
 	}
 	n.status.Store(int32(statusPaused))
 	n.pauseCh = make(chan struct{})
+	c.event("pause", i, c.GroupOf(i), "")
 }
 
 // Resume wakes a paused node. No-op otherwise.
@@ -175,6 +177,7 @@ func (c *Cluster) Resume(i int) {
 		close(n.pauseCh)
 		n.pauseCh = nil
 	}
+	c.event("resume", i, c.GroupOf(i), "")
 }
 
 // NodeRunning reports whether node i is serving requests.
@@ -437,6 +440,7 @@ func (p *FaultPlan) hook(point TriggerPoint, node int) {
 		p.stats.Crashes++
 	}
 	p.mu.Unlock()
+	p.co.c.event("chaos", f.Node, p.co.c.GroupOf(f.Node), point.String())
 
 	switch {
 	case f.Pause:

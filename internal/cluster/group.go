@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,16 @@ func (n *Node) stopGroup() {
 
 // replicated reports whether this node is a member of a consensus group.
 func (n *Node) replicated() bool { return n.grp.Load() != nil }
+
+// groupStatus returns the node's replica status; ok is false when
+// replication is off or the group runtime is stopped.
+func (n *Node) groupStatus() (repl.Status, bool) {
+	gr := n.grp.Load()
+	if gr == nil || gr.stopped.Load() {
+		return repl.Status{}, false
+	}
+	return gr.rep.Status(), true
+}
 
 // rebuildPendings reconstructs the pending-prepare map from the durable
 // log: the compaction snapshot's pendings, then the bookkeeping (not
@@ -405,6 +416,18 @@ func (gr *groupRuntime) RoleChange(role repl.Role, term uint64) {
 	n := gr.n
 	prev := gr.role
 	gr.role = role
+	switch role {
+	case repl.Candidate:
+		// Election start doubles as failure detection: the follower's
+		// election timer fired without leader contact.
+		gr.c.event("election-start", n.ID, gr.group, fmt.Sprintf("term=%d", term))
+	case repl.Leader:
+		gr.c.event("election-won", n.ID, gr.group, fmt.Sprintf("term=%d", term))
+	default:
+		if prev == repl.Leader {
+			gr.c.event("deposed", n.ID, gr.group, fmt.Sprintf("term=%d", term))
+		}
+	}
 	if role == repl.Leader {
 		// Elected, not yet ready: re-take the locks of every inherited
 		// in-doubt entry before any previous-term entries apply and long
@@ -465,6 +488,7 @@ func (gr *groupRuntime) RoleChange(role repl.Role, term uint64) {
 
 func (gr *groupRuntime) LeaderReady(term uint64) {
 	gr.leading.Store(true)
+	gr.c.event("leader-ready", gr.n.ID, gr.group, fmt.Sprintf("term=%d", term))
 	gr.c.noteLeader(gr.group, gr.n.ID)
 	select {
 	case gr.kick <- struct{}{}:

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"schism/internal/obs"
 	"schism/internal/sqlparse"
 )
 
@@ -75,9 +76,15 @@ func (t *Txn) sendGroup(kind reqKind, stmt sqlparse.Statement, g int, followerRe
 func (t *Txn) sendNode(kind reqKind, stmt sqlparse.Statement, nid int, replRead, cont bool, bound time.Duration) response {
 	c := t.co.c
 	reply := make(chan response, 1)
+	var sp *obs.Span
+	if t.span != nil {
+		sp = t.span.Child(reqName(kind))
+		sp.Annotate("node %d", nid)
+		defer sp.Finish()
+	}
 	r := &request{kind: kind, ts: t.ts, epoch: t.epoch, stmt: stmt,
 		capture: t.capture != nil, replRead: replRead, twoPhase: t.twoPhase,
-		cont: cont, reply: reply}
+		cont: cont, reply: reply, trace: sp}
 	c.nodes[nid].send(r)
 	if bound <= 0 {
 		resp := <-reply

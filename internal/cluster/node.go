@@ -10,6 +10,7 @@ import (
 	"schism/internal/cluster/repl"
 	"schism/internal/cluster/wal"
 	"schism/internal/datum"
+	"schism/internal/obs"
 	"schism/internal/sqlparse"
 	"schism/internal/storage"
 	"schism/internal/txn"
@@ -53,6 +54,11 @@ type request struct {
 	cont   bool
 	sentAt time.Time
 	reply  chan response
+	// trace is the coordinator-side span for this protocol message, nil
+	// unless the transaction was sampled. Node-side phases (quorum
+	// append, WAL force) hang children off it; all span calls are
+	// nil-safe.
+	trace *obs.Span
 }
 
 type response struct {
@@ -127,6 +133,32 @@ type Node struct {
 	// execute/prepare hold it shared, the RoleChange(follower) sweep
 	// that rolls back unprepared transactions holds it exclusively.
 	leaderGate sync.RWMutex
+
+	// mets is the node-side phase instrumentation (nil: observability
+	// off).
+	mets *nodeMetrics
+}
+
+// nodeMetrics resolves a node's phase-latency histograms once. They are
+// shared across nodes (one histogram per phase cluster-wide); Hist
+// recording is wait-free so sharing costs nothing.
+type nodeMetrics struct {
+	quorumAppend *obs.Hist // prepare entry proposed -> quorum-committed
+	applyWait    *obs.Hist // commit entry proposed -> applied
+	walForce     *obs.Hist // synchronous log-force latency
+	leaseRefused *obs.Counter
+}
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &nodeMetrics{
+		quorumAppend: reg.Hist("repl.append.quorum"),
+		applyWait:    reg.Hist("repl.commit.apply"),
+		walForce:     reg.Hist("wal.force"),
+		leaseRefused: reg.Counter("repl.lease_refused"),
+	}
 }
 
 // txnState is 2PC participant state for one transaction on this node.
@@ -153,6 +185,7 @@ func newNode(id int, cfg Config, db *storage.Database, hooks *hookSlot) *Node {
 		hooks: hooks,
 		reqCh: make(chan *request, cfg.QueueDepth),
 		txns:  make(map[txn.TS]*txnState),
+		mets:  newNodeMetrics(cfg.Obs),
 	}
 	for w := 0; w < cfg.WorkersPerNode; w++ {
 		n.wg.Add(1)
@@ -284,9 +317,9 @@ func (n *Node) serve(r *request) {
 			resp.err = n.downErr()
 		} else {
 			if gr != nil {
-				resp.err = n.prepareReplicated(gr, r.ts, r.epoch)
+				resp.err = n.prepareReplicated(gr, r)
 			} else {
-				resp.err = n.prepare(r.ts, r.epoch)
+				resp.err = n.prepare(r)
 			}
 			if resp.err == nil {
 				// The durable yes vote will be acked no matter what happens
@@ -346,6 +379,9 @@ func (n *Node) execReplicated(gr *groupRuntime, r *request) response {
 	// undecided transactions (a deposed leader's prepared natives sit in
 	// the image until their fate entry arrives).
 	if !gr.rep.LeaseValid() || n.hasPreparedNative() {
+		if m := n.mets; m != nil {
+			m.leaseRefused.Inc()
+		}
 		return response{err: fmt.Errorf("cluster: node %d: %w", n.ID, ErrLeaseExpired)}
 	}
 	sel, ok := r.stmt.(*sqlparse.Select)
@@ -373,7 +409,8 @@ func (n *Node) hasPreparedNative() bool {
 // leader's log — does the node log its native prepare record and ack
 // yes. A crash of any minority after the ack therefore cannot lose the
 // promise: the new leader re-adopts the entry as in-doubt.
-func (n *Node) prepareReplicated(gr *groupRuntime, ts txn.TS, epoch uint64) error {
+func (n *Node) prepareReplicated(gr *groupRuntime, r *request) error {
+	ts, epoch := r.ts, r.epoch
 	if !gr.leading.Load() {
 		return n.notLeaderErr(gr)
 	}
@@ -392,9 +429,15 @@ func (n *Node) prepareReplicated(gr *groupRuntime, ts txn.TS, epoch uint64) erro
 		return errors.New("cluster: vote no")
 	}
 	redo := n.buildRedoLocked(st.undo)
+	var qStart time.Time
+	if n.mets != nil {
+		qStart = time.Now()
+	}
+	qsp := r.trace.Child("repl.append.quorum")
 	idx, err := gr.rep.Propose(repl.Entry{Kind: repl.KPrepare, TS: uint64(ts), Epoch: epoch, Redo: redo})
 	n.tmu.Unlock()
 	if err != nil {
+		qsp.Finish()
 		return n.notLeaderErr(gr)
 	}
 	bound := n.cfg.RPCTimeout
@@ -406,8 +449,14 @@ func (n *Node) prepareReplicated(gr *groupRuntime, ts txn.TS, epoch uint64) erro
 		// later, but without the ack the coordinator aborts — kill the
 		// would-be pending so it cannot outlive the transaction. Presumed
 		// abort makes the no vote safe either way.
+		qsp.Annotate("quorum timeout")
+		qsp.Finish()
 		gr.rep.Propose(repl.Entry{Kind: repl.KAbort, TS: uint64(ts), Epoch: epoch})
 		return fmt.Errorf("cluster: vote no: prepare not replicated: %w", ErrRPCTimeout)
+	}
+	qsp.Finish()
+	if n.mets != nil {
+		n.mets.quorumAppend.Record(time.Since(qStart))
 	}
 	n.tmu.Lock()
 	if cur := n.txns[ts]; cur != st || cur.epoch != epoch {
@@ -421,8 +470,22 @@ func (n *Node) prepareReplicated(gr *groupRuntime, ts txn.TS, epoch uint64) erro
 	pay := n.wal.AppendPrepareAsync(uint64(ts), writeSet(st.undo))
 	st.prepared = true
 	n.tmu.Unlock()
-	pay()
+	n.payForce(pay, r.trace)
 	return nil
+}
+
+// payForce charges a deferred WAL force, timing it (histogram and, when
+// the transaction is sampled, a trace child) when observability is on.
+func (n *Node) payForce(pay func(), trace *obs.Span) {
+	if n.mets == nil {
+		pay()
+		return
+	}
+	sp := trace.Child("wal.force")
+	start := time.Now()
+	pay()
+	n.mets.walForce.Record(time.Since(start))
+	sp.Finish()
 }
 
 // buildRedoLocked extracts a transaction's redo write-set: the CURRENT
@@ -493,9 +556,15 @@ func (n *Node) commitReplicated(gr *groupRuntime, r *request) error {
 		n.tmu.Unlock()
 		return n.notLeaderErr(gr)
 	}
+	var aStart time.Time
+	if n.mets != nil {
+		aStart = time.Now()
+	}
+	asp := r.trace.Child("repl.commit.apply")
 	idx, err := gr.rep.Propose(entry)
 	n.tmu.Unlock()
 	if err != nil {
+		asp.Finish()
 		return n.notLeaderErr(gr)
 	}
 	bound := n.cfg.RPCTimeout
@@ -503,11 +572,17 @@ func (n *Node) commitReplicated(gr *groupRuntime, r *request) error {
 		bound = n.cfg.LockTimeout
 	}
 	if werr := gr.rep.WaitApplied(idx, bound); werr != nil {
+		asp.Annotate("apply timeout")
+		asp.Finish()
 		// Proposed but not confirmed applied: the commit may still land.
 		// Deliberately NOT ErrNodeDown — the outcome is unknown, and a
 		// retry could double-execute. The decision record + resolver
 		// finish the job.
 		return fmt.Errorf("cluster: commit outcome unknown on node %d: %v", n.ID, werr)
+	}
+	asp.Finish()
+	if n.mets != nil {
+		n.mets.applyWait.Record(time.Since(aStart))
 	}
 	return nil
 }
@@ -612,7 +687,8 @@ func (n *Node) execStmt(ts txn.TS, epoch uint64, stmt sqlparse.Statement, captur
 // abort arrives, and logging a vote after the rollback would promise a
 // write-set that no longer exists. The modeled flush latency is paid
 // after tmu is released so it never serializes other transactions.
-func (n *Node) prepare(ts txn.TS, epoch uint64) error {
+func (n *Node) prepare(r *request) error {
+	ts, epoch := r.ts, r.epoch
 	n.tmu.Lock()
 	st := n.txns[ts]
 	if st == nil {
@@ -636,7 +712,7 @@ func (n *Node) prepare(ts txn.TS, epoch uint64) error {
 	pay := n.wal.AppendPrepareAsync(uint64(ts), writeSet(st.undo))
 	st.prepared = true
 	n.tmu.Unlock()
-	pay()
+	n.payForce(pay, r.trace)
 	return nil
 }
 

@@ -116,6 +116,8 @@ func (c *Cluster) Restart(i int, decide DecisionFn) (RecoveryStats, error) {
 		n.startGroup(c, c.durables[i])
 	}
 	n.status.Store(int32(statusRunning))
+	c.event("restart", i, c.GroupOf(i),
+		fmt.Sprintf("losers=%d in-doubt=%d", stats.LosersUndone, stats.InDoubt))
 	return stats, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schism/internal/datum"
@@ -318,6 +319,12 @@ type Status struct {
 	CommitIndex uint64
 	Applied     uint64
 	Ready       bool
+	// Lifetime counters, monotone across role changes: elections this
+	// replica started, elections it won, and lease renewals it granted
+	// as a follower (valid leader contacts). Observability polls these.
+	Elections     uint64
+	LeaderWins    uint64
+	LeaseRenewals uint64
 }
 
 // applyEvent is one item of the ordered apply stream.
@@ -364,6 +371,10 @@ type Replica struct {
 	quorumFailAt time.Time // leader: lease base when quorum unreachable
 
 	events []applyEvent // ordered apply stream (role/ready/restore markers)
+
+	elections     atomic.Uint64 // elections started
+	leaderWins    atomic.Uint64 // elections won
+	leaseRenewals atomic.Uint64 // follower lease renewals (valid leader contact)
 
 	rng     *rand.Rand
 	stopped bool
@@ -459,6 +470,7 @@ func (r *Replica) tickLoop() {
 
 // startElectionLocked begins a candidacy. Caller holds mu.
 func (r *Replica) startElectionLocked() {
+	r.elections.Add(1)
 	r.d.mu.Lock()
 	r.d.term++
 	r.d.votedFor = r.cfg.ID
@@ -539,6 +551,7 @@ func (r *Replica) stepDownLocked(term uint64, leader int) {
 // becomeLeaderLocked wins an election: initialise replication state and
 // append the no-op barrier whose commit marks readiness.
 func (r *Replica) becomeLeaderLocked(term uint64) {
+	r.leaderWins.Add(1)
 	r.becomeLocked(Leader, term, r.cfg.ID)
 	r.nextIndex = make(map[int]uint64)
 	r.matchIndex = make(map[int]uint64)
@@ -756,6 +769,7 @@ func (r *Replica) HandleAppend(req AppendReq) AppendResp {
 	}
 	r.leader = req.Leader
 	r.lastHeard = time.Now()
+	r.leaseRenewals.Add(1)
 	r.resetElectionTimer(false)
 
 	if req.Snapshot != nil {
@@ -1065,13 +1079,16 @@ func (r *Replica) Status() Status {
 	r.d.mu.Lock()
 	defer r.d.mu.Unlock()
 	return Status{
-		ID:          r.cfg.ID,
-		Term:        r.d.term,
-		Role:        r.role,
-		Leader:      r.leader,
-		LastIndex:   r.d.lastIndex(),
-		CommitIndex: r.commitIndex,
-		Applied:     r.d.applied,
-		Ready:       r.ready,
+		ID:            r.cfg.ID,
+		Term:          r.d.term,
+		Role:          r.role,
+		Leader:        r.leader,
+		LastIndex:     r.d.lastIndex(),
+		CommitIndex:   r.commitIndex,
+		Applied:       r.d.applied,
+		Ready:         r.ready,
+		Elections:     r.elections.Load(),
+		LeaderWins:    r.leaderWins.Load(),
+		LeaseRenewals: r.leaseRenewals.Load(),
 	}
 }

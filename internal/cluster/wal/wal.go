@@ -104,6 +104,7 @@ type Log struct {
 
 	forces   atomic.Int64
 	compacts atomic.Int64
+	appended atomic.Int64 // lifetime bytes appended (framing included)
 }
 
 // New returns an empty log. force is the simulated flush latency charged
@@ -131,6 +132,10 @@ func (l *Log) Forces() int64 { return l.forces.Load() }
 
 // Compactions returns the number of times the log compacted itself.
 func (l *Log) Compactions() int64 { return l.compacts.Load() }
+
+// BytesAppended returns the lifetime bytes written to the log,
+// including record framing and regardless of later compaction.
+func (l *Log) BytesAppended() int64 { return l.appended.Load() }
 
 // Size returns the current byte size of the durable image.
 func (l *Log) Size() int {
@@ -235,6 +240,7 @@ func (l *Log) appendLocked(encode func([]byte) []byte) {
 	payload := l.buf[start+8:]
 	binary.LittleEndian.PutUint32(l.buf[start:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(l.buf[start+4:], crc32.ChecksumIEEE(payload))
+	l.appended.Add(int64(len(l.buf) - start))
 }
 
 // compactLocked drops the records of finished transactions (those whose

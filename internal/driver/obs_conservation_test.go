@@ -1,0 +1,122 @@
+package driver_test
+
+import (
+	"testing"
+	"time"
+
+	"schism/internal/cluster"
+	"schism/internal/datum"
+	"schism/internal/driver"
+	"schism/internal/obs"
+	"schism/internal/partition"
+	"schism/internal/storage"
+	"schism/internal/workload"
+)
+
+// TestObsCountersMatchDriverResult is the metric-conservation gate: the
+// observability layer's transaction counters must agree EXACTLY with the
+// driver's independently-tallied Result — and with the money-conservation
+// ground truth — under a seeded chaos schedule that crashes and recovers
+// a node at 2PC trigger points mid-run. The driver runs in Ops mode (no
+// warmup), so every transaction the coordinator sees is a transaction the
+// driver measured; any drift between the two tallies is a double- or
+// un-counted commit path.
+func TestObsCountersMatchDriverResult(t *testing.T) {
+	const nodes, total = 2, 24
+	reg := obs.NewRegistry()
+	reg.Tracer().SetSample(16)
+	strat := &partition.Hash{K: nodes, KeyColumn: map[string]string{"account": "id"}}
+	place := func(key int64) int {
+		return strat.Locate(workload.TupleID{Table: "account", Key: key}, nil)[0]
+	}
+	c := cluster.New(cluster.Config{
+		Nodes:       nodes,
+		LockTimeout: 500 * time.Millisecond,
+		Obs:         reg,
+	}, func(node int) *storage.Database {
+		db := storage.NewDatabase()
+		tbl := db.MustCreateTable(accountSchema())
+		for k := 0; k < total; k++ {
+			if place(int64(k)) != node {
+				continue
+			}
+			if err := tbl.Insert(storage.Row{datum.NewInt(int64(k)), datum.NewInt(1000)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	})
+	defer c.Close()
+	co := cluster.NewCoordinator(c, strat)
+
+	plan := cluster.NewFaultPlan(co,
+		cluster.Fault{Point: cluster.BeforePrepareAck, Node: 1, After: 4, RestartAfter: 20 * time.Millisecond},
+		cluster.Fault{Point: cluster.BeforeCommitAck, Node: 0, After: 50, RestartAfter: 20 * time.Millisecond},
+	)
+	res := driver.Run(co, driver.Config{Clients: 4, Ops: 60, Seed: 23}, transferStream(total))
+	plan.Close()
+	if errs := plan.Errs(); len(errs) != 0 {
+		t.Fatalf("scheduled restart errors: %v", errs)
+	}
+	if err := co.Drain(); err != nil {
+		t.Fatalf("Drain after recovery: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transfers committed under the fault schedule")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["txn.committed"]; got != res.Committed {
+		t.Errorf("obs txn.committed = %d, driver counted %d", got, res.Committed)
+	}
+	if got := snap.Counters["txn.distributed"]; got != res.Distributed {
+		t.Errorf("obs txn.distributed = %d, driver counted %d", got, res.Distributed)
+	}
+	if got := snap.Counters["txn.failed"]; got != res.Failed {
+		t.Errorf("obs txn.failed = %d, driver counted %d", got, res.Failed)
+	}
+	var retries int64
+	for _, cause := range cluster.RetryCauses {
+		retries += snap.Counters["txn.retry."+cause]
+	}
+	if retries != res.Aborts {
+		t.Errorf("obs retry counters sum to %d, driver counted %d aborts (%v)",
+			retries, res.Aborts, kvSubset(snap.Counters, "txn.retry."))
+	}
+	if one, two := snap.Counters["txn.commit.one_phase"], snap.Counters["txn.commit.two_phase"]; one+two != res.Committed {
+		t.Errorf("one-phase %d + two-phase %d commits != %d committed", one, two, res.Committed)
+	}
+
+	// Ground truth: the counters agree with each other AND with the data.
+	var sum int64
+	for node := 0; node < nodes; node++ {
+		c.Node(node).DB().Table("account").ScanAll(func(_ int64, row storage.Row) bool {
+			sum += row[1].I
+			return true
+		})
+	}
+	if sum != total*1000 {
+		t.Fatalf("money not conserved under chaos: %d, want %d", sum, total*1000)
+	}
+
+	// The chaos schedule must itself be visible on the timeline.
+	kinds := map[string]int{}
+	for _, ev := range snap.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["crash"] == 0 || kinds["restart"] == 0 || kinds["chaos"] == 0 {
+		t.Errorf("timeline missing fault events: %v", kinds)
+	}
+}
+
+// kvSubset filters a counter map to keys with the given prefix (for
+// failure messages).
+func kvSubset(m map[string]int64, prefix string) map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range m {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"schism/internal/cluster"
 	"schism/internal/core"
 	"schism/internal/driver"
+	"schism/internal/obs"
 	"schism/internal/partition"
 	"schism/internal/storage"
 	"schism/internal/workloads"
@@ -74,6 +75,12 @@ type BenchConfig struct {
 	// Strategies restricts the comparison (default all four:
 	// schism, hash, range, replication).
 	Strategies []string
+	// Obs attaches an observability registry to each strategy's cluster;
+	// the per-strategy metrics snapshot lands in BenchRow.Metrics and
+	// PrintBench appends a metrics digest after the comparison table.
+	// Default off, so the headline numbers measure the uninstrumented
+	// fast path.
+	Obs bool
 }
 
 func (c BenchConfig) withDefaults(s Scale) BenchConfig {
@@ -140,6 +147,9 @@ type BenchRow struct {
 	// RoutingBytes is the routing-metadata footprint (lookup tables
 	// only; predicate and hash strategies are O(rules)).
 	RoutingBytes int64
+	// Metrics is the cluster's observability snapshot (nil unless
+	// BenchConfig.Obs).
+	Metrics *obs.Snapshot
 }
 
 // BenchResult is the full comparison for one workload.
@@ -228,6 +238,10 @@ func Bench(cfg BenchConfig, s Scale) (*BenchResult, error) {
 // drives it with the shared client streams.
 func benchOne(cfg BenchConfig, tcfg workloads.TPCCConfig, w *workloads.Workload, name string, strat partition.Strategy) (BenchRow, error) {
 	k := strat.NumPartitions()
+	var reg *obs.Registry
+	if cfg.Obs {
+		reg = obs.NewRegistry()
+	}
 	c := cluster.New(cluster.Config{
 		Nodes:          k,
 		WorkersPerNode: cfg.Workers,
@@ -235,6 +249,7 @@ func benchOne(cfg BenchConfig, tcfg workloads.TPCCConfig, w *workloads.Workload,
 		NetworkDelay:   cfg.NetworkDelay,
 		LockTimeout:    cfg.LockTimeout,
 		LogForce:       cfg.LogForce,
+		Obs:            reg,
 	}, func(node int) *storage.Database {
 		return cluster.SplitDatabase(w.DB, strat, node)
 	})
@@ -268,6 +283,9 @@ func benchOne(cfg BenchConfig, tcfg workloads.TPCCConfig, w *workloads.Workload,
 	}
 	if l, ok := strat.(*partition.Lookup); ok {
 		row.RoutingBytes = l.MemoryBytes()
+	}
+	if reg != nil {
+		row.Metrics = reg.Snapshot()
 	}
 	return row, nil
 }
@@ -304,6 +322,9 @@ func PrintBench(wr io.Writer, r *BenchResult) {
 		})
 	}
 	table(wr, []string{"strategy", "tps", "rel", "p50", "p95", "p99", "%dist-txn", "%dist-stmt", "abort", "imbalance", "routing"}, rows)
+	for _, row := range r.Rows {
+		printMetrics(wr, row.Strategy, row.Metrics)
+	}
 }
 
 func routingBytes(b int64) string {

@@ -82,3 +82,54 @@ func BenchmarkBenchTPCC(b *testing.B) {
 		b.ReportMetric(float64(schism.RoutingBytes), "schism-routing-bytes")
 	}
 }
+
+// BenchmarkBenchTPCCObs is the metrics-enabled twin of
+// BenchmarkBenchTPCC: the same comparison with an observability
+// registry attached to every cluster. scripts/bench.sh snapshots both;
+// the ns/op gap between them is the end-to-end instrumentation
+// overhead the obs package's "nil means off" design bounds (<3%
+// disabled, and the enabled counters are cheap enough that this twin
+// lands within noise too).
+func BenchmarkBenchTPCCObs(b *testing.B) {
+	var last *BenchResult
+	for i := 0; i < b.N; i++ {
+		res, err := Bench(BenchConfig{Obs: true}, Scale{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.TPS, row.Strategy+"-tps")
+	}
+	if m := last.Row("schism").Metrics; m != nil {
+		b.ReportMetric(float64(m.Counters["txn.committed"]), "schism-obs-committed")
+	}
+}
+
+// TestObsOverheadGuard is the CI overhead gate: the same quick TPC-C
+// comparison with and without the observability registry attached. The
+// bound is deliberately generous (25%) because a single quick in-process
+// pair is noisy — the real <3% number comes from scripts/bench.sh's
+// repeated benchmark runs (BENCH_8.json) — but a gross regression (a
+// lock or clock read on the disabled path) trips it reliably.
+func TestObsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead comparison runs in the dedicated obs-smoke CI job")
+	}
+	run := func(obs bool) float64 {
+		res, err := Bench(BenchConfig{Obs: obs, Strategies: []string{"schism"}}, Scale{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0].TPS
+	}
+	run(true) // warm caches so neither side pays first-run costs
+	disabled := run(false)
+	enabled := run(true)
+	t.Logf("schism tps: metrics disabled %.0f, enabled %.0f (%.1f%% delta)",
+		disabled, enabled, 100*(disabled-enabled)/disabled)
+	if enabled < disabled*0.75 {
+		t.Errorf("metrics-enabled throughput %.0f is more than 25%% below disabled %.0f", enabled, disabled)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"schism/internal/graph"
 	"schism/internal/live"
 	"schism/internal/metis"
+	"schism/internal/obs"
 	"schism/internal/partition"
 	"schism/internal/storage"
 	"schism/internal/workload"
@@ -94,6 +95,12 @@ type DriftCluster struct {
 	Baseline, Final live.Score
 	// RouterBytes is the deployed routing tables' memory footprint.
 	RouterBytes int64
+	// Cycles is each adaptation's phase breakdown (graph build → cut →
+	// relabel → plan → migrate).
+	Cycles []live.CyclePhases
+	// Metrics is the run's observability snapshot (live-phase histograms,
+	// migration timeline events, cluster counters).
+	Metrics *obs.Snapshot
 }
 
 // DriftResult combines both drivers for one scenario.
@@ -295,10 +302,12 @@ func runDriftClusterScenario(sc driftScenario) (DriftCluster, error) {
 	for _, tn := range sc.db.TableNames() {
 		schemas[tn] = sc.db.Table(tn).Schema
 	}
+	reg := obs.NewRegistry()
 	c := cluster.New(cluster.Config{
 		Nodes: sc.k, WorkersPerNode: 4,
 		ServiceTime: 2 * time.Microsecond, NetworkDelay: sc.networkLat,
 		LockTimeout: 2 * time.Second,
+		Obs:         reg,
 	}, func(node int) *storage.Database {
 		db := storage.NewDatabase()
 		for _, tn := range sc.db.TableNames() {
@@ -328,6 +337,7 @@ func runDriftClusterScenario(sc driftScenario) (DriftCluster, error) {
 	ctrl := live.NewController(live.Config{
 		K: sc.k, Window: sc.window, Detector: det, CheckEvery: check,
 		Repartition: live.RepartitionConfig{Graph: sc.gopts, Metis: sc.mopts},
+		Obs:         reg,
 	}, tables, exec)
 	ctrl.Start()
 	co.SetCapture(ctrl.Record)
@@ -353,7 +363,9 @@ func runDriftClusterScenario(sc driftScenario) (DriftCluster, error) {
 		out.Migration.FailedBatches += ad.Migration.FailedBatches
 		out.Migration.Aborts += ad.Migration.Aborts
 		out.Migration.Elapsed += ad.Migration.Elapsed
+		out.Cycles = append(out.Cycles, ad.Phases)
 	}
+	out.Metrics = reg.Snapshot()
 	return out, nil
 }
 
@@ -402,6 +414,13 @@ func PrintDrift(w io.Writer, r DriftResult) {
 	table(w, []string{"phase", "tps", "%distributed", "aborts"}, rows)
 	fmt.Fprintf(w, "  window: baseline %v -> final %v\n", r.Cluster.Baseline, r.Cluster.Final)
 	fmt.Fprintf(w, "  adaptations=%d migration: %v\n", r.Cluster.Adaptations, r.Cluster.Migration)
+	for i, ph := range r.Cluster.Cycles {
+		fmt.Fprintf(w, "  cycle %d phases: graph %v cut %v relabel %v plan %v migrate %v\n",
+			i+1, ph.Graph.Round(time.Microsecond), ph.Cut.Round(time.Microsecond),
+			ph.Relabel.Round(time.Microsecond), ph.Plan.Round(time.Microsecond),
+			ph.Migrate.Round(time.Millisecond))
+	}
+	printMetrics(w, r.Sim.Scenario+" cluster run", r.Cluster.Metrics)
 }
 
 func movedRatio(s DriftSim) float64 {

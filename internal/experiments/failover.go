@@ -10,6 +10,7 @@ import (
 	"schism/internal/cluster"
 	"schism/internal/datum"
 	"schism/internal/driver"
+	"schism/internal/obs"
 	"schism/internal/partition"
 	"schism/internal/storage"
 	"schism/internal/workload"
@@ -85,6 +86,17 @@ type FailoverRow struct {
 	BaselineBucket, DipBucket int64
 	// Recover is crash to the first bucket back at >= half the baseline.
 	Recover time.Duration
+	// The failover window's breakdown, resolved from the crash run's
+	// observability timeline (R>1 only; zero at R=1, which has no
+	// election): Detect is crash → election start (the heartbeat-silence
+	// detection lag), Elect is election start → won, Barrier is won →
+	// leader-ready (the no-op barrier entry committing), FirstCommit is
+	// leader-ready → the crashed group's first committed transaction.
+	Detect, Elect, Barrier, FirstCommit time.Duration
+	// Metrics is the crash run's snapshot: per-phase 2PC latency
+	// histograms (2pc.route/prepare/commit), quorum append and apply
+	// waits, WAL force latency, retry counters, and the event timeline.
+	Metrics *obs.Snapshot
 }
 
 // Failover runs the experiment for each configured replication factor.
@@ -101,7 +113,7 @@ func Failover(cfg FailoverConfig, s Scale) ([]FailoverRow, error) {
 	return rows, nil
 }
 
-func failoverCluster(cfg FailoverConfig, r int) (*cluster.Cluster, *cluster.Coordinator, error) {
+func failoverCluster(cfg FailoverConfig, r int, reg *obs.Registry) (*cluster.Cluster, *cluster.Coordinator, error) {
 	strat := &partition.Hash{K: cfg.Groups, KeyColumn: map[string]string{"account": "id"}}
 	total := cfg.Groups * cfg.KeysPerGroup
 	c := cluster.New(cluster.Config{
@@ -112,6 +124,7 @@ func failoverCluster(cfg FailoverConfig, r int) (*cluster.Cluster, *cluster.Coor
 		ReplHeartbeat:     2 * time.Millisecond,
 		ReplElection:      cfg.Election,
 		ReplSeed:          19,
+		Obs:               reg,
 	}, func(node int) *storage.Database {
 		group := node / r
 		db := storage.NewDatabase()
@@ -178,7 +191,7 @@ func failoverRun(cfg FailoverConfig, r int) (FailoverRow, error) {
 	}
 
 	// Fault-free pass: the steady-state cost of quorum replication.
-	c, co, err := failoverCluster(cfg, r)
+	c, co, err := failoverCluster(cfg, r, nil)
 	if err != nil {
 		return row, err
 	}
@@ -186,8 +199,13 @@ func failoverRun(cfg FailoverConfig, r int) (FailoverRow, error) {
 	c.Close()
 	row.BaseTPS = base.Throughput()
 
-	// Crash pass: kill group 0's leader a third of the way in.
-	c, co, err = failoverCluster(cfg, r)
+	// Crash pass: kill group 0's leader a third of the way in, with the
+	// observability registry attached — the event timeline resolves the
+	// failover into its phases, and 1/64 span sampling keeps a few full
+	// transaction traces without perturbing the run.
+	reg := obs.NewRegistry()
+	reg.Tracer().SetSample(64)
+	c, co, err = failoverCluster(cfg, r, reg)
 	if err != nil {
 		return row, err
 	}
@@ -207,6 +225,7 @@ func failoverRun(cfg FailoverConfig, r int) (FailoverRow, error) {
 		if victim < 0 {
 			return
 		}
+		reg.ArmFirstCommit(0) // watch for group 0's first post-crash commit
 		crashedAt = time.Now()
 		c.Crash(victim)
 		if r > 1 {
@@ -234,6 +253,11 @@ func failoverRun(cfg FailoverConfig, r int) (FailoverRow, error) {
 		return row, fmt.Errorf("failover: crash choreography failed at R=%d", r)
 	}
 	row.Failover = ledAt.Sub(crashedAt)
+	row.Metrics = reg.Snapshot()
+	if r > 1 {
+		row.Detect, row.Elect, row.Barrier, row.FirstCommit =
+			failoverBreakdown(row.Metrics.Events, 0)
+	}
 
 	// Bucket analysis around the crash. The driver's epoch is the run
 	// start (no warmup), so the crash lands in bucket crashIdx.
@@ -259,7 +283,51 @@ func failoverRun(cfg FailoverConfig, r int) (FailoverRow, error) {
 	return row, nil
 }
 
-// PrintFailover renders the experiment table.
+// failoverBreakdown resolves the observability timeline into the
+// failover window's phases for the crashed group: crash → election
+// start (detection), → election won, → leader-ready (the no-op barrier
+// entry committing), → the group's first committed transaction. Zero
+// values mean the corresponding event never appeared (e.g. the watch
+// stayed armed past the run's end).
+func failoverBreakdown(events []obs.Event, group int) (detect, elect, barrier, first time.Duration) {
+	var crash, start, won, ready time.Time
+	for _, ev := range events {
+		switch {
+		case crash.IsZero():
+			if ev.Kind == "crash" && ev.Group == group {
+				crash = ev.At
+			}
+		case start.IsZero():
+			if ev.Kind == "election-start" && ev.Group == group {
+				start = ev.At
+				detect = start.Sub(crash)
+			}
+		case won.IsZero():
+			if ev.Kind == "election-won" && ev.Group == group {
+				won = ev.At
+				elect = won.Sub(start)
+			}
+		case ready.IsZero():
+			if ev.Kind == "leader-ready" && ev.Group == group {
+				ready = ev.At
+				barrier = ready.Sub(won)
+			}
+		default:
+			if ev.Kind == "first-commit" && ev.Group == group {
+				first = ev.At.Sub(ready)
+				if first < 0 {
+					first = 0
+				}
+				return
+			}
+		}
+	}
+	return
+}
+
+// PrintFailover renders the experiment table: the availability numbers
+// per replication factor, each crash run's failover-window breakdown,
+// and the R>1 crash run's phase-latency metrics.
 func PrintFailover(w io.Writer, rows []FailoverRow) {
 	fmt.Fprintln(w, "Failover: availability through a leader crash vs replication factor")
 	var out [][]string
@@ -275,4 +343,13 @@ func PrintFailover(w io.Writer, rows []FailoverRow) {
 		})
 	}
 	table(w, []string{"R", "fault-free tps", "crash-run tps", "failover", "baseline/bucket", "dip/bucket", "recover"}, out)
+	for _, r := range rows {
+		if r.R <= 1 {
+			continue
+		}
+		fmt.Fprintf(w, "\nR=%d failover timeline: detect %v -> elect %v -> barrier %v -> first-commit %v\n",
+			r.R, r.Detect.Round(10*time.Microsecond), r.Elect.Round(10*time.Microsecond),
+			r.Barrier.Round(10*time.Microsecond), r.FirstCommit.Round(10*time.Microsecond))
+		printMetrics(w, fmt.Sprintf("R=%d crash run", r.R), r.Metrics)
+	}
 }

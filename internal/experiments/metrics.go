@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"schism/internal/obs"
+)
+
+// printMetrics renders the digest of an observability snapshot under an
+// experiment table: every recorded histogram (the 2PC phase latencies,
+// quorum append/apply waits, WAL forces) plus the non-zero counters and
+// gauges on compact key=value lines.
+func printMetrics(w io.Writer, label string, s *obs.Snapshot) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nmetrics[%s]\n", label)
+	if len(s.Hists) > 0 {
+		var rows [][]string
+		for _, name := range obs.Names(s.Hists) {
+			h := s.Hists[name]
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%d", h.Count),
+				h.P50.Round(time.Microsecond).String(),
+				h.P95.Round(time.Microsecond).String(),
+				h.P99.Round(time.Microsecond).String(),
+				h.Max.Round(time.Microsecond).String(),
+			})
+		}
+		table(w, []string{"hist", "count", "p50", "p95", "p99", "max"}, rows)
+	}
+	fmt.Fprint(w, kvLine("counters", s.Counters))
+	fmt.Fprint(w, kvLine("gauges", s.Gauges))
+}
+
+// kvLine renders the non-zero entries of a metric map as one sorted
+// "name=value" line ("" when all zero).
+func kvLine(label string, m map[string]int64) string {
+	var parts []string
+	for _, name := range obs.Names(m) {
+		if v := m[name]; v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s: %s\n", label, strings.Join(parts, " "))
+}

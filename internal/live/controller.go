@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"schism/internal/obs"
 	"schism/internal/partition"
 	"schism/internal/workload"
 )
@@ -28,6 +29,11 @@ type Config struct {
 	// have been captured after an adaptation, so the window refills with
 	// post-migration traffic (default half the window capacity).
 	CooldownTxns int
+	// Obs attaches an observability registry: per-cycle phase latency
+	// histograms (graph build, cut, relabel, plan, migrate), a
+	// capture-window depth gauge, and "migration" timeline events. Nil
+	// disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +67,17 @@ type Adaptation struct {
 	Migration MigrationStats
 	// Elapsed is the full cycle time (snapshot → repartition → migrate).
 	Elapsed time.Duration
+	// Phases breaks Elapsed into the cycle's stages.
+	Phases CyclePhases
+}
+
+// CyclePhases is the per-stage breakdown of one adaptation cycle.
+type CyclePhases struct {
+	Graph   time.Duration // workload-graph build over the window
+	Cut     time.Duration // k-way min-cut
+	Relabel time.Duration // movement-minimizing label permutation
+	Plan    time.Duration // migration-plan construction
+	Migrate time.Duration // plan application (physical or logical)
 }
 
 // Controller owns the capture window, detector, repartitioner and
@@ -183,8 +200,14 @@ func (c *Controller) Tick() (*Adaptation, error) {
 		Reason: reason,
 		Before: score, EdgeCut: rep.EdgeCut,
 		Diff: rep.Diff, NaiveDiff: rep.NaiveDiff,
+		Phases: CyclePhases{Graph: rep.PhaseGraph, Cut: rep.PhaseCut,
+			Relabel: rep.PhaseRelabel},
 	}
+	phase := time.Now()
 	plan := BuildPlan(rep.Tuples, c.Locate, rep.Assignments)
+	ad.Phases.Plan = time.Since(phase)
+
+	phase = time.Now()
 	if c.exec != nil {
 		ad.Migration = c.exec.Apply(plan)
 	} else {
@@ -196,13 +219,42 @@ func (c *Controller) Tick() (*Adaptation, error) {
 		}
 		ad.Migration.Moved = len(plan.Moves)
 	}
+	ad.Phases.Migrate = time.Since(phase)
 
 	ad.After = ScoreWindow(snap, c.cfg.K, c.Locate)
 	c.det.SetBaseline(ad.After)
 	c.lastAdaptAt = total
 	ad.Elapsed = time.Since(start)
 	c.adaptations = append(c.adaptations, ad)
+	c.observe(&ad)
 	return &ad, nil
+}
+
+// observe publishes one adaptation cycle to the registry: per-phase
+// latency histograms, window-depth gauge, and a timeline event.
+func (c *Controller) observe(ad *Adaptation) {
+	reg := c.cfg.Obs
+	if reg == nil {
+		return
+	}
+	for _, p := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"live.phase.graph", ad.Phases.Graph},
+		{"live.phase.cut", ad.Phases.Cut},
+		{"live.phase.relabel", ad.Phases.Relabel},
+		{"live.phase.plan", ad.Phases.Plan},
+		{"live.phase.migrate", ad.Phases.Migrate},
+		{"live.cycle", ad.Elapsed},
+	} {
+		reg.Hist(p.name).Record(p.d)
+	}
+	reg.Counter("live.adaptations").Inc()
+	reg.Gauge("live.window.depth").Set(int64(c.win.Len()))
+	reg.Timeline().Add("migration", -1, -1,
+		fmt.Sprintf("moved=%d reason=%s cycle=%s",
+			ad.Migration.Moved, ad.Reason, ad.Elapsed.Round(time.Microsecond)))
 }
 
 // Start launches the background control loop: every CheckEvery captured

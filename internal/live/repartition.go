@@ -1,6 +1,8 @@
 package live
 
 import (
+	"time"
+
 	"schism/internal/graph"
 	"schism/internal/metis"
 	"schism/internal/partition"
@@ -38,6 +40,12 @@ type Repartition struct {
 	// relabeling; the gap is the movement the relabeler saved.
 	Diff      partition.Diff
 	NaiveDiff partition.Diff
+	// PhaseGraph/PhaseCut/PhaseRelabel break the run down into its three
+	// pipeline stages (graph build, min-cut, movement-minimizing
+	// relabel) — the attribution ROADMAP item 5's cycle-time work needs.
+	PhaseGraph   time.Duration
+	PhaseCut     time.Duration
+	PhaseRelabel time.Duration
 }
 
 // Repartitioner reruns the graph + min-cut pipeline over live windows. It
@@ -58,12 +66,18 @@ func NewRepartitioner(cfg RepartitionConfig) *Repartitioner {
 // partitions it, and relabels the result against the deployed placement
 // (locate; may be nil when there is none) so that the fewest tuples move.
 func (r *Repartitioner) Repartition(tr *workload.Trace, locate LocateFunc) (*Repartition, error) {
+	phase := time.Now()
 	g := graph.Build(tr, r.cfg.Graph)
+	graphDur := time.Since(phase)
+
+	phase = time.Now()
 	parts, cut, err := r.solver.PartKway(g.CSR, r.cfg.K, r.cfg.Metis)
 	if err != nil {
 		return nil, err
 	}
-	res := &Repartition{Graph: g, EdgeCut: cut, Tuples: g.Intern.Tuples()}
+	cutDur := time.Since(phase)
+	res := &Repartition{Graph: g, EdgeCut: cut, Tuples: g.Intern.Tuples(),
+		PhaseGraph: graphDur, PhaseCut: cutDur}
 
 	newSets := g.DenseAssignments(parts)
 	oldSets := make([][]int, len(res.Tuples))
@@ -74,12 +88,14 @@ func (r *Repartitioner) Repartition(tr *workload.Trace, locate LocateFunc) (*Rep
 	}
 	res.NaiveDiff = partition.AssignmentDiff(oldSets, newSets, r.cfg.K)
 
+	phase = time.Now()
 	perm := identityPerm(r.cfg.K)
 	if !r.cfg.NaiveLabels && locate != nil {
 		perm = partition.RelabelMap(oldSets, newSets, r.cfg.K)
 		partition.ApplyRelabel(parts, perm)
 		newSets = g.DenseAssignments(parts)
 	}
+	res.PhaseRelabel = time.Since(phase)
 	res.Perm = perm
 	res.Assignments = newSets
 	res.Diff = partition.AssignmentDiff(oldSets, newSets, r.cfg.K)

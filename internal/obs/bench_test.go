@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObsRecord measures the enabled hot path: one counter
+// increment plus one histogram record, the per-commit cost the
+// coordinator pays when a registry is attached.
+func BenchmarkObsRecord(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("txn.committed")
+	h := r.Hist("2pc.commit")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Record(time.Duration(i&1023) * time.Microsecond)
+	}
+}
+
+// BenchmarkObsRecordDisabled measures the same sites with a nil
+// registry — the cost every transaction pays when observability is off.
+func BenchmarkObsRecordDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("txn.committed")
+	h := r.Hist("2pc.commit")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		if h != nil {
+			h.Record(time.Duration(i&1023) * time.Microsecond)
+		}
+	}
+}
+
+// BenchmarkTraceSpan measures a captured root span with two children —
+// the span-tree shape of a sampled local transaction.
+func BenchmarkTraceSpan(b *testing.B) {
+	tr := NewTracer(64)
+	tr.SetSample(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("txn")
+		s.Child("route").Finish()
+		s.Child("commit").Finish()
+		s.Finish()
+	}
+}
+
+// BenchmarkTraceSpanUnsampled measures the not-sampled path: Start
+// returns nil and every downstream span call is a nil-receiver no-op.
+func BenchmarkTraceSpanUnsampled(b *testing.B) {
+	tr := NewTracer(64)
+	tr.SetSample(1 << 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("txn")
+		s.Child("route").Finish()
+		s.Child("commit").Finish()
+		s.Finish()
+	}
+}
+
+// TestDisabledPathAllocFree pins the disabled mode at zero allocations:
+// nil handles and unsampled tracers must not allocate per operation.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	tl := r.Timeline()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		tl.Add("e", 0, 0, "")
+		r.MarkCommit(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+	tr := NewTracer(4)
+	tr.SetSample(0)
+	allocs = testing.AllocsPerRun(1000, func() {
+		s := tr.Start("txn")
+		s.Child("route").Finish()
+		s.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled tracer allocates %.1f per op, want 0", allocs)
+	}
+}

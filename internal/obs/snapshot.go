@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// HistStat is the summarized form of a histogram in a snapshot.
+type HistStat struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry: counters, gauges
+// (including collector contributions), histogram summaries, and the
+// event timeline. It marshals directly to JSON for the experiment
+// dumps and the /metrics endpoint.
+type Snapshot struct {
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Gauges   map[string]int64    `json:"gauges,omitempty"`
+	Hists    map[string]HistStat `json:"hists,omitempty"`
+	Events   []Event             `json:"events,omitempty"`
+	Dropped  int64               `json:"events_dropped,omitempty"`
+}
+
+// Snapshot captures the registry's current state, running collectors
+// to fill in polled gauges. Nil registries snapshot to nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]HistStat),
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		if h.Count() == 0 {
+			continue
+		}
+		s.Hists[name] = HistStat{
+			Count: h.Count(), Mean: h.Mean(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95),
+			P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+			Max: h.Max(),
+		}
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn(func(name string, v int64) { s.Gauges[name] = v })
+	}
+	s.Events = r.timeline.Events()
+	s.Dropped = r.timeline.Dropped()
+	return s
+}
+
+// WriteJSON marshals the snapshot (indented) to w.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Names returns the sorted key set of a metric map — stable iteration
+// order for reports.
+func Names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

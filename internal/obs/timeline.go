@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry in the run timeline: a crash, election, lease
+// expiry, migration batch, chaos trigger, or first-commit marker.
+// Node and Group are -1 when not applicable.
+type Event struct {
+	At     time.Time `json:"at"`
+	Kind   string    `json:"kind"`
+	Node   int       `json:"node"`
+	Group  int       `json:"group"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Timeline is a bounded ring of events. Writers never block and never
+// allocate beyond the fixed ring; once full, the oldest events are
+// overwritten and counted in Dropped. All methods are nil-safe so a
+// disabled timeline costs one branch per site.
+type Timeline struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int // next write position
+	n       int // number of valid events (<= len(ring))
+	dropped int64
+}
+
+// NewTimeline returns a ring holding up to cap events (minimum 16).
+func NewTimeline(cap int) *Timeline {
+	if cap < 16 {
+		cap = 16
+	}
+	return &Timeline{ring: make([]Event, cap)}
+}
+
+// Add records an event stamped with the current time.
+func (t *Timeline) Add(kind string, node, group int, detail string) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: time.Now(), Kind: kind, Node: node, Group: group, Detail: detail}
+	t.mu.Lock()
+	if t.n == len(t.ring) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Events returns the retained events in chronological order.
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (t *Timeline) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer produces sampled per-transaction span trees. Sampling is 1/N:
+// with SetSample(n), every n-th Start call captures a full span tree;
+// the rest return nil, and nil spans are free (every Span method is
+// nil-safe). Aggregate phase-latency histograms live in the Registry
+// and are recorded unconditionally at the same sites, so exact phase
+// distributions are available even with capture off (sample = 0).
+type Tracer struct {
+	sample atomic.Int64 // capture 1 in sample; 0 = off
+	seq    atomic.Uint64
+
+	mu   sync.Mutex
+	done []*Span // completed root spans, bounded ring
+	next int
+	n    int
+}
+
+// NewTracer returns a tracer retaining up to cap completed traces,
+// with capture off until SetSample.
+func NewTracer(cap int) *Tracer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Tracer{done: make([]*Span, cap)}
+}
+
+// SetSample enables capture of one in every n Start calls (n <= 0
+// turns capture off).
+func (t *Tracer) SetSample(n int) {
+	if t == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.sample.Store(int64(n))
+}
+
+// Start returns a new root span for the named operation if this call is
+// sampled, else nil. The disarmed path is one atomic load.
+func (t *Tracer) Start(op string) *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.sample.Load()
+	if n <= 0 || t.seq.Add(1)%uint64(n) != 0 {
+		return nil
+	}
+	return &Span{tracer: t, Op: op, Begin: time.Now()}
+}
+
+// retain stores a finished root span in the bounded ring.
+func (t *Tracer) retain(s *Span) {
+	t.mu.Lock()
+	if t.n < len(t.done) {
+		t.n++
+	}
+	t.done[t.next] = s
+	t.next = (t.next + 1) % len(t.done)
+	t.mu.Unlock()
+}
+
+// Traces returns the retained completed root spans, oldest first.
+func (t *Tracer) Traces() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.done)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.done[(start+i)%len(t.done)])
+	}
+	return out
+}
+
+// Span is one timed operation in a trace tree. A nil *Span is the
+// not-sampled case and every method no-ops on it, so instrumentation
+// sites pass spans down unconditionally. Children may be added from
+// concurrent goroutines (2PC fans out to participants).
+type Span struct {
+	tracer *Tracer
+
+	Op    string        `json:"op"`
+	Begin time.Time     `json:"begin"`
+	Dur   time.Duration `json:"dur"`
+	Note  string        `json:"note,omitempty"`
+
+	mu       sync.Mutex
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Child opens a sub-span under s (nil when s is nil).
+func (s *Span) Child(op string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Op: op, Begin: time.Now()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Annotate attaches a free-form note to the span.
+func (s *Span) Annotate(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Note = fmt.Sprintf(format, args...)
+	s.mu.Unlock()
+}
+
+// Finish closes the span, stamping its duration. Finishing a root span
+// hands it to the tracer's retained ring.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.Begin)
+	if s.tracer != nil {
+		s.tracer.retain(s)
+	}
+}
+
+// String renders the span tree with indented children, one per line.
+func (s *Span) String() string {
+	if s == nil {
+		return "<nil span>"
+	}
+	var b strings.Builder
+	s.render(&b, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s %v", s.Op, s.Dur)
+	if s.Note != "" {
+		fmt.Fprintf(b, " (%s)", s.Note)
+	}
+	b.WriteByte('\n')
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.render(b, depth+1)
+	}
+}

@@ -57,6 +57,26 @@ type LockManager struct {
 	byTxn   map[TS]map[LockKey]struct{}
 	maxWait time.Duration
 	closed  bool
+
+	waits    atomic.Int64 // acquisitions that had to queue
+	dies     atomic.Int64 // wait-die aborts (immediate and queued)
+	timeouts atomic.Int64 // lock waits that hit maxWait
+}
+
+// LockStats is a snapshot of the manager's contention counters.
+type LockStats struct {
+	Waits    int64
+	Dies     int64
+	Timeouts int64
+}
+
+// Stats returns the contention counters accumulated since creation.
+func (lm *LockManager) Stats() LockStats {
+	return LockStats{
+		Waits:    lm.waits.Load(),
+		Dies:     lm.dies.Load(),
+		Timeouts: lm.timeouts.Load(),
+	}
 }
 
 type lockState struct {
@@ -117,11 +137,13 @@ func (lm *LockManager) Acquire(ts TS, key LockKey, mode Mode) error {
 		}
 		if conflicts(hmode, mode) && ts > hts {
 			lm.mu.Unlock()
+			lm.dies.Add(1)
 			return ErrDie
 		}
 	}
 	w := &waiter{ts: ts, mode: mode, ready: make(chan error, 1)}
 	ls.queue = append(ls.queue, w)
+	lm.waits.Add(1)
 	lm.mu.Unlock()
 
 	timer := time.NewTimer(lm.maxWait)
@@ -137,6 +159,7 @@ func (lm *LockManager) Acquire(ts TS, key LockKey, mode Mode) error {
 			if q == w {
 				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
 				lm.mu.Unlock()
+				lm.timeouts.Add(1)
 				return ErrTimeout
 			}
 		}
@@ -196,6 +219,7 @@ func (lm *LockManager) ReleaseAll(ts TS) {
 		for i := 0; i < len(ls.queue); {
 			if ls.queue[i].ts == ts {
 				ls.queue[i].ready <- ErrDie
+				lm.dies.Add(1)
 				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
 				continue
 			}
@@ -241,6 +265,7 @@ func (lm *LockManager) wake(ls *lockState, key LockKey) {
 		}
 		if die {
 			w.ready <- ErrDie
+			lm.dies.Add(1)
 			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
 			continue
 		}

@@ -17,7 +17,15 @@
 # under a crash schedule and converge-ms after it; BenchmarkFailover:
 # per-replication-factor fault-free tps — the replication overhead vs
 # the R=1 rows of BENCH_6 — plus time-to-new-leader ms, availability
-# dip depth, and recover-ms across a leader kill) — with -benchmem,
+# dip depth, and recover-ms across a leader kill), and the
+# observability layer (BenchmarkObsRecord/-Disabled: counter+histogram
+# hot path with a registry vs the nil "disabled" handles;
+# BenchmarkTraceSpan/-Unsampled: a sampled span tree vs the pass-over
+# path; BenchmarkBenchTPCCObs: the full TPC-C comparison with metrics
+# ENABLED — compare its ns_per_op against BenchmarkBenchTPCC's, and
+# BenchmarkBenchTPCC itself against the previous BENCH file, to bound
+# the instrumentation overhead end to end: the metrics-disabled run
+# must stay within 3% of the pre-obs baseline) — with -benchmem,
 # recording the results as JSON so the perf trajectory is tracked PR
 # over PR: BENCH_1.json for PR 1, BENCH_2.json for PR 2, and so on.
 #
@@ -43,12 +51,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC|BenchmarkWALAppend|BenchmarkWALAnalyze|BenchmarkRecoveryReplay|BenchmarkChaosConvergence|BenchmarkFailover' -benchmem \
-    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup ./internal/cluster ./internal/cluster/wal ./internal/driver ./internal/experiments | tee "$TXT"
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC|BenchmarkWALAppend|BenchmarkWALAnalyze|BenchmarkRecoveryReplay|BenchmarkChaosConvergence|BenchmarkFailover|BenchmarkObsRecord|BenchmarkTraceSpan' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup ./internal/cluster ./internal/cluster/wal ./internal/driver ./internal/experiments ./internal/obs | tee "$TXT"
 
 awk '
 BEGIN { print "["; first = 1 }
