@@ -23,6 +23,14 @@ import (
 
 var quick = experiments.Scale{Quick: true}
 
+// mustBuild unwraps graph.Build/BuildHyper for known-valid options.
+func mustBuild(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // tpcc50Graph builds the TPCC-50W-scale workload graph once (clique
 // edges + replication + coalescing, the configuration the paper uses for
 // its largest runs; same trace shape as internal/graph's benchmarks).
@@ -31,7 +39,7 @@ var tpcc50Graph = sync.OnceValue(func() *graph.Graph {
 		Warehouses: 50, Customers: 20, Items: 500,
 		InitialOrders: 5, Txns: 25000, Seed: 5,
 	})
-	return graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: true, Seed: 3})
+	return mustBuild(graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: true, Seed: 3}))
 })
 
 // BenchmarkPartKway measures the multilevel partitioner alone (no graph
@@ -45,15 +53,60 @@ func BenchmarkPartKway(b *testing.B) {
 		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
 			b.ReportAllocs()
 			var cut int64
+			var parts []int32
 			for i := 0; i < b.N; i++ {
-				_, c, err := s.PartKway(g.CSR, k, metis.Options{Seed: 7})
+				p, c, err := s.PartKway(g.CSR, k, metis.Options{Seed: 7})
 				if err != nil {
 					b.Fatal(err)
 				}
-				cut = c
+				parts, cut = p, c
 			}
+			b.StopTimer()
+			cost := partition.EvaluateAssignmentsCompact(g.Compact, g.DenseAssignments(parts), nil)
 			b.ReportMetric(float64(cut), "edgecut")
+			b.ReportMetric(100*cost.DistributedFrac(), "%distributed")
 			b.ReportMetric(float64(g.CSR.NumNodes()), "nodes")
+		})
+	}
+}
+
+// tpcc50Hyper builds the hypergraph-native representation of the same
+// TPCC-50W trace as tpcc50Graph (one net per transaction plus the
+// replication nets of §4.1, partitioned on the connectivity metric).
+var tpcc50Hyper = sync.OnceValue(func() *graph.Graph {
+	w := workloads.TPCC(workloads.TPCCConfig{
+		Warehouses: 50, Customers: 20, Items: 500,
+		InitialOrders: 5, Txns: 25000, Seed: 5,
+	})
+	return mustBuild(graph.BuildHyper(w.Trace, graph.Options{Replication: true, Coalesce: true, Seed: 3}))
+})
+
+// BenchmarkPartHKway measures the multilevel hypergraph partitioner on
+// the TPCC-50W-scale hypergraph at the same partition counts as
+// BenchmarkPartKway — the acceptance comparison for the connectivity-
+// metric pipeline. Besides the raw connectivity cost it reports the
+// honest quality metric shared with the clique path: the fraction of
+// trace transactions left distributed under the resulting placement.
+func BenchmarkPartHKway(b *testing.B) {
+	g := tpcc50Hyper()
+	s := metis.NewSolver()
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var conn int64
+			var parts []int32
+			for i := 0; i < b.N; i++ {
+				p, c, err := s.PartHKway(g.HG, k, metis.Options{Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				parts, conn = p, c
+			}
+			b.StopTimer()
+			cost := partition.EvaluateAssignmentsCompact(g.Compact, g.DenseAssignments(parts), nil)
+			b.ReportMetric(float64(conn), "conncost")
+			b.ReportMetric(100*cost.DistributedFrac(), "%distributed")
+			b.ReportMetric(float64(g.HG.NumNodes()), "nodes")
 		})
 	}
 }
@@ -210,7 +263,7 @@ func BenchmarkAblationReplication(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g := graph.Build(w.Trace, graph.Options{Replication: repl, Seed: 3})
+				g := mustBuild(graph.Build(w.Trace, graph.Options{Replication: repl, Seed: 3}))
 				_, cut, err := g.Partition(2, metis.Options{Seed: 5})
 				if err != nil {
 					b.Fatal(err)
@@ -232,7 +285,7 @@ func BenchmarkAblationTxnEdges(b *testing.B) {
 	}{{"clique", graph.CliqueEdges}, {"star", graph.StarEdges}} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g := graph.Build(w.Trace, graph.Options{Replication: true, TxnEdges: mode.m, Seed: 3})
+				g := mustBuild(graph.Build(w.Trace, graph.Options{Replication: true, TxnEdges: mode.m, Seed: 3}))
 				b.ReportMetric(float64(g.NumEdges()), "edges")
 				if _, _, err := g.Partition(2, metis.Options{Seed: 5}); err != nil {
 					b.Fatal(err)
@@ -255,7 +308,7 @@ func BenchmarkAblationCoalescing(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g := graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: coalesce, Seed: 3})
+				g := mustBuild(graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: coalesce, Seed: 3}))
 				b.ReportMetric(float64(g.NumNodes()), "nodes")
 			}
 		})
@@ -274,7 +327,7 @@ func BenchmarkAblationSampling(b *testing.B) {
 	for _, rate := range []float64{1.0, 0.5, 0.25, 0.1} {
 		b.Run(pctName(rate), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g := graph.Build(w.Trace, graph.Options{Replication: true, TxnSampleRate: rate, Seed: 3})
+				g := mustBuild(graph.Build(w.Trace, graph.Options{Replication: true, TxnSampleRate: rate, Seed: 3}))
 				parts, _, err := g.Partition(2, metis.Options{Seed: 5})
 				if err != nil {
 					b.Fatal(err)

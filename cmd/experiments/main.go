@@ -6,6 +6,7 @@
 //	experiments -run fig5    # partitioner scalability (Fig. 5)
 //	experiments -run fig6    # TPC-C end-to-end throughput scaling (Fig. 6)
 //	experiments -run table1  # graph sizes (Table 1)
+//	experiments -run hyper   # hypergraph vs clique expansion comparison
 //	experiments -run drift    # online repartitioning under workload drift
 //	experiments -run bench    # end-to-end strategy-comparison benchmark
 //	experiments -run failover # availability through a leader crash vs R
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|drift|bench|failover|all")
+	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|hyper|drift|bench|failover|all")
 	scale := flag.Int("scale", 1, "dataset scale factor")
 	quick := flag.Bool("quick", false, "tiny datasets for smoke runs")
 	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
@@ -64,6 +65,13 @@ func main() {
 	})
 	do("fig6", func() { experiments.PrintFig6(os.Stdout, experiments.Fig6(experiments.Fig6Config{}, s)) })
 	do("table1", func() { experiments.PrintTable1(os.Stdout, experiments.Table1(s)) })
+	do("hyper", func() {
+		ks := []int{2, 8, 64}
+		if *quick {
+			ks = []int{2, 8}
+		}
+		experiments.PrintHyper(os.Stdout, experiments.Hyper(ks, s))
+	})
 	do("bench", func() {
 		res, err := experiments.Bench(experiments.BenchConfig{Obs: true}, s)
 		if err != nil {

@@ -7,8 +7,10 @@
 //	schism -workload epinions -partitions 10
 //	schism -workload ycsb-a|ycsb-e|tpce|random [-partitions k] [-seed n]
 //
-// Tuning flags expose the §5.1 graph heuristics (sampling, coalescing) and
-// the replication ablation.
+// Tuning flags expose the §5.1 graph heuristics (sampling, coalescing),
+// the replication ablation, and -hyper, which swaps the clique expansion
+// for the hypergraph-native representation (one net per transaction,
+// partitioned on the connectivity metric).
 //
 // The drift subcommand runs the internal/live online-repartitioning loop
 // against a shifting workload (deterministic control-loop simulation plus
@@ -147,6 +149,7 @@ func main() {
 	tupleSample := flag.Float64("tuple-sample", 0, "tuple-level sampling rate (0/1 = off)")
 	noReplication := flag.Bool("no-replication", false, "disable replicated-tuple expansion")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable tuple coalescing")
+	hyper := flag.Bool("hyper", false, "use the hypergraph-native representation (one net per transaction, connectivity-metric partitioning) instead of the clique expansion")
 	flag.Parse()
 
 	var w *workloads.Workload
@@ -173,6 +176,7 @@ func main() {
 		Resolver:   w.Resolver(),
 		KeyColumns: w.KeyColumns,
 		DB:         w.DB,
+		Hyper:      *hyper,
 	}, core.Options{
 		Partitions:         *k,
 		Seed:               *seed,

@@ -43,6 +43,11 @@ type Input struct {
 	// table are then guaranteed to be NEW tuples, which float to their
 	// transaction's home partition.
 	DB *storage.Database
+	// Hyper selects the hypergraph-native representation: graph.BuildHyper
+	// (one net per transaction, linear in access-set size) partitioned on
+	// the connectivity metric, instead of the clique expansion + edge cut.
+	// Result.EdgeCut then reports the connectivity cost.
+	Hyper bool
 	// Prior, when set, is an already-deployed per-tuple assignment the new
 	// partitioning should disturb as little as possible: after min-cut
 	// partitioning, the fresh partition labels are permuted by a greedy
@@ -185,7 +190,16 @@ func Run(in Input, opts Options) (*Result, error) {
 		gopts.Seed = opts.Seed
 	}
 	t0 := time.Now()
-	g := graph.Build(train, gopts)
+	var g *graph.Graph
+	var err error
+	if in.Hyper {
+		g, err = graph.BuildHyper(train, gopts)
+	} else {
+		g, err = graph.Build(train, gopts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: graph build failed: %w", err)
+	}
 	res.Timings.Graph = time.Since(t0)
 	res.Stats = GraphStats{
 		Tuples: g.Intern.Len(),
@@ -225,7 +239,7 @@ func Run(in Input, opts Options) (*Result, error) {
 	// PartWeight is the graph phase's balance (per-partition node weight
 	// under the min-cut labels); the replica pruning below adjusts the
 	// deployed replica sets but not the graph labels.
-	res.PartWeight = g.CSR.PartWeights(parts, k)
+	res.PartWeight = g.PartWeights(parts, k)
 	res.PrunedReplicas = pruneWriteReplicas(train, tuples, dense, opts.ReadMostlyWriteFrac)
 	if in.Prior != nil {
 		// Diff against the deployed (post-prune) sets: this is the

@@ -54,7 +54,11 @@ func fig5Graphs(s Scale) []struct {
 		Txns: s.scaled(20000, 3000), Seed: 3,
 	})
 	build := func(w *workloads.Workload) *graph.Graph {
-		return graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: true, Seed: 4})
+		g, err := graph.Build(w.Trace, graph.Options{Replication: true, Coalesce: true, Seed: 4})
+		if err != nil {
+			panic(err)
+		}
+		return g
 	}
 	return []struct {
 		name  string

@@ -4,20 +4,31 @@
 // expansion that lets the min-cut partitioner trade replication against
 // distributed transactions.
 //
+// Build produces that classic clique expansion; BuildHyper produces the
+// hypergraph-native alternative — one net per transaction plus
+// replication nets, linear in total access-set size where cliques are
+// quadratic, partitioned on the connectivity metric by metis.PartHKway
+// (see DESIGN.md "Hypergraph partitioning"). Both share the same trace
+// front half and node layout, so every placement translation works on
+// either and the clique path remains the differential reference.
+//
 // The package also implements the §5.1 graph-size heuristics: transaction-
 // and tuple-level sampling, blanket-statement filtering, relevance
-// filtering, star-shaped replication, and tuple coalescing.
+// filtering, star-shaped replication, and tuple coalescing. Options are
+// validated up front; contradictory combinations (such as Coalesce with
+// tuple sampling) fail with a typed *OptionsError.
 //
 // Construction is allocation-lean and parallel (see DESIGN.md): the trace
 // is interned into dense tuple ids once, per-transaction deduplication
 // uses epoch-stamped scratch arrays instead of maps, coalescing signatures
-// are 64-bit hashes verified on collision, and clique-edge generation is
+// are 64-bit hashes verified on collision, and edge/pin generation is
 // sharded across GOMAXPROCS goroutines over contiguous transaction ranges
 // so the merged edge list — and therefore the CSR — is byte-identical to a
 // single-threaded build.
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -98,8 +109,13 @@ type Node struct {
 // Graph is the built workload graph plus the metadata needed to translate a
 // node partitioning back into a tuple placement.
 type Graph struct {
-	// CSR is the partitioner input.
+	// CSR is the clique/star partitioner input; nil for hypergraph
+	// builds (BuildHyper), which fill HG instead.
 	CSR *metis.Graph
+	// HG is the hypergraph partitioner input: one net per transaction
+	// over its distinct group nodes, plus 2-pin replication nets. Nil
+	// for clique/star builds (Build).
+	HG *metis.HGraph
 	// Nodes maps node id -> provenance.
 	Nodes []Node
 	// GroupTuples lists the member tuples of each coalesced group.
@@ -213,8 +229,38 @@ func (g *Graph) nodeFor(gi, ti int32) int32 {
 	return base + 1 + int32(lo)
 }
 
-// Build constructs the workload graph for a trace.
-func Build(tr *workload.Trace, opts Options) *Graph {
+// Build constructs the clique/star workload graph for a trace. It
+// returns a typed *OptionsError for invalid or contradictory options,
+// and an error wrapping metis.ErrTooLarge when the edge list would
+// overflow the int32 CSR index space (BuildHyper, linear in access-set
+// size, usually still fits).
+func Build(tr *workload.Trace, opts Options) (*Graph, error) {
+	g, c, nwgt, numNodes, numGroups, numTxns, err := buildCore(tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Edges: transaction cliques/stars generated in parallel, replication
+	// stars appended after.
+	edges, err := g.buildEdges(c, numGroups, numTxns)
+	if err != nil {
+		return nil, err
+	}
+	g.CSR, err = metis.NewGraph(int(numNodes), edges, nwgt)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildCore is the shared front half of Build and BuildHyper: §5.1 trace
+// heuristics, interning, accessor lists, coalescing, node layout, and
+// node weights. Only the final representation — clique/star edges vs
+// transaction nets — differs between the two entry points, so they
+// translate node partitionings back to tuples identically.
+func buildCore(tr *workload.Trace, opts Options) (g *Graph, c *workload.Compact, nwgt []int64, numNodes int32, numGroups, numTxns int, err error) {
+	if err = opts.Validate(); err != nil {
+		return nil, nil, nil, 0, 0, 0, err
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	// §5.1 heuristics, applied in trace space first.
 	if opts.BlanketMaxTuples > 0 {
@@ -232,11 +278,11 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 
 	// Intern the trace: every access hashes once, everything after indexes
 	// slices by dense tuple id.
-	c := workload.CompactTrace(tr)
+	c = workload.CompactTrace(tr)
 	numTuples := c.NumTuples()
-	numTxns := c.NumTxns()
+	numTxns = c.NumTxns()
 
-	g := &Graph{
+	g = &Graph{
 		Trace:   tr,
 		Compact: c,
 		Opts:    opts,
@@ -333,7 +379,7 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 			rep[d] = int32(d)
 		}
 	}
-	numGroups := len(rep)
+	numGroups = len(rep)
 
 	// Group accessor lists alias the representative tuple's list.
 	g.accOff = make([]int32, numGroups)
@@ -373,7 +419,6 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 	// accessing transaction for exploded groups.
 	g.groupBase = make([]int32, numGroups)
 	g.exploded = make([]bool, numGroups)
-	var numNodes int32
 	for gi := 0; gi < numGroups; gi++ {
 		g.groupBase[gi] = numNodes
 		if opts.Replication && g.accCount[gi] >= 2 {
@@ -386,7 +431,7 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 
 	// Node metadata and weights.
 	g.Nodes = make([]Node, numNodes)
-	nwgt := make([]int64, numNodes)
+	nwgt = make([]int64, numNodes)
 	sizeOf := func(gi int32) int64 {
 		var sz int64
 		for _, id := range g.GroupTuples[gi] {
@@ -426,11 +471,7 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 		}
 	}
 
-	// Edges: transaction cliques/stars generated in parallel, replication
-	// stars appended after.
-	edges := g.buildEdges(c, numGroups, numTxns)
-	g.CSR = metis.NewGraph(int(numNodes), edges, nwgt)
-	return g
+	return g, c, nwgt, numNodes, numGroups, numTxns, nil
 }
 
 // buildEdges generates the transaction edges (clique or star per txn over
@@ -439,7 +480,7 @@ func Build(tr *workload.Trace, opts Options) *Graph {
 // first, so every edge is written directly into its final slot and the
 // merged order equals the single-threaded order regardless of worker
 // count.
-func (g *Graph) buildEdges(c *workload.Compact, numGroups, numTxns int) []metis.BuilderEdge {
+func (g *Graph) buildEdges(c *workload.Compact, numGroups, numTxns int) ([]metis.BuilderEdge, error) {
 	workers := maxWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -515,6 +556,14 @@ func (g *Graph) buildEdges(c *workload.Compact, numGroups, numTxns int) []metis.
 			replEdges += int64(g.accCount[gi])
 		}
 	}
+	// Guard before allocating: the clique expansion is quadratic per
+	// transaction, so the raw edge count can blow past int32 CSR capacity
+	// (and any sane allocation) from a modest trace. 2× because every
+	// undirected edge becomes two directed adjacency entries.
+	if err := metis.CheckCSRCapacity(2 * (txnEdges + replEdges)); err != nil {
+		return nil, fmt.Errorf("graph: %d clique/star edges from %d transactions: %w (sample the trace or use BuildHyper)",
+			txnEdges+replEdges, numTxns, err)
+	}
 	edges := make([]metis.BuilderEdge, txnEdges+replEdges)
 
 	// Pass 2: each worker writes its shard's edges into place.
@@ -580,7 +629,7 @@ func (g *Graph) buildEdges(c *workload.Compact, numGroups, numTxns int) []metis.
 			w++
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 // sigHash is a 64-bit FNV-1a-style hash of a tuple's access signature:
@@ -604,8 +653,14 @@ func sigHash(txns []int32, flags []uint8) uint64 {
 	return h
 }
 
-// Partition runs the min-cut partitioner over the graph.
+// Partition runs the min-cut partitioner over the graph: connectivity-
+// metric hypergraph partitioning (metis.PartHKway) for BuildHyper
+// graphs, edge-cut clique partitioning (metis.PartKway) otherwise. The
+// returned cost is the corresponding objective value.
 func (g *Graph) Partition(k int, opts metis.Options) ([]int32, int64, error) {
+	if g.HG != nil {
+		return metis.PartHKway(g.HG, k, opts)
+	}
 	return metis.PartKway(g.CSR, k, opts)
 }
 
@@ -680,7 +735,27 @@ func (g *Graph) DenseAssignmentsFor(c *workload.Compact, parts []int32) [][]int 
 }
 
 // NumNodes returns the number of graph nodes (Table 1 "Nodes").
-func (g *Graph) NumNodes() int { return g.CSR.NumNodes() }
+func (g *Graph) NumNodes() int {
+	if g.HG != nil {
+		return g.HG.NumNodes()
+	}
+	return g.CSR.NumNodes()
+}
 
-// NumEdges returns the number of distinct undirected edges (Table 1 "Edges").
-func (g *Graph) NumEdges() int { return g.CSR.NumEdges() }
+// NumEdges returns the number of distinct undirected edges (Table 1
+// "Edges") for clique/star builds, or the number of nets for hypergraph
+// builds.
+func (g *Graph) NumEdges() int {
+	if g.HG != nil {
+		return g.HG.NumNets()
+	}
+	return g.CSR.NumEdges()
+}
+
+// PartWeights returns the total node weight in each of k partitions.
+func (g *Graph) PartWeights(parts []int32, k int) []int64 {
+	if g.HG != nil {
+		return g.HG.PartWeights(parts, k)
+	}
+	return g.CSR.PartWeights(parts, k)
+}

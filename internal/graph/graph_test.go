@@ -7,6 +7,14 @@ import (
 	"schism/internal/workload"
 )
 
+// mustBuild unwraps Build/BuildHyper for options known to be valid.
+func mustBuild(g *Graph, err error) *Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // bankTrace reconstructs the paper's running example (Figures 2 and 3):
 // an account table with five tuples and four transactions.
 func bankTrace() *workload.Trace {
@@ -27,7 +35,7 @@ func bankTrace() *workload.Trace {
 }
 
 func TestBuildBasicGraph(t *testing.T) {
-	g := Build(bankTrace(), Options{})
+	g := mustBuild(Build(bankTrace(), Options{}))
 	if got := g.NumNodes(); got != 5 {
 		t.Fatalf("NumNodes = %d, want 5 (one per tuple)", got)
 	}
@@ -53,7 +61,7 @@ func edgeWeightBetween(g *metis.Graph, u, v int32) int64 {
 }
 
 func TestBuildReplicationStar(t *testing.T) {
-	g := Build(bankTrace(), Options{Replication: true})
+	g := mustBuild(Build(bankTrace(), Options{Replication: true}))
 	// Tuple 1 is accessed by three transactions (T0, T1, T2) and written by
 	// two (T0, T1): it must explode into 3 replicas + 1 centre, and the
 	// replication edges must weigh 2 (Fig. 3).
@@ -85,7 +93,7 @@ func TestBuildReplicationStar(t *testing.T) {
 }
 
 func TestAssignmentsWithoutReplication(t *testing.T) {
-	g := Build(bankTrace(), Options{})
+	g := mustBuild(Build(bankTrace(), Options{}))
 	parts, _, err := g.Partition(2, metis.Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +126,7 @@ func TestAssignmentsWithReplication(t *testing.T) {
 			{Tuple: tid(cluster + 1), Write: true},
 		})
 	}
-	g := Build(tr, Options{Replication: true})
+	g := mustBuild(Build(tr, Options{Replication: true}))
 	parts, _, err := g.Partition(2, metis.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +156,7 @@ func TestCoalescing(t *testing.T) {
 			{Tuple: tid(int64(10 + i)), Write: true},
 		})
 	}
-	g := Build(tr, Options{Coalesce: true})
+	g := mustBuild(Build(tr, Options{Coalesce: true}))
 	g1, g2 := g.TupleGroup()[tid(1)], g.TupleGroup()[tid(2)]
 	if g1 != g2 {
 		t.Error("tuples 1 and 2 should coalesce into one group")
@@ -160,7 +168,7 @@ func TestCoalescing(t *testing.T) {
 		tr2.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(2)}})
 	}
 	tr2.Add([]workload.Access{{Tuple: tid(1), Write: true}, {Tuple: tid(2)}})
-	gg := Build(tr2, Options{Coalesce: true})
+	gg := mustBuild(Build(tr2, Options{Coalesce: true}))
 	if gg.TupleGroup()[tid(1)] == gg.TupleGroup()[tid(2)] {
 		t.Error("different write patterns must prevent coalescing")
 	}
@@ -180,8 +188,8 @@ func TestCoalescingReducesNodes(t *testing.T) {
 		}
 		tr.Add(acc)
 	}
-	plain := Build(tr, Options{})
-	coal := Build(tr, Options{Coalesce: true})
+	plain := mustBuild(Build(tr, Options{}))
+	coal := mustBuild(Build(tr, Options{Coalesce: true}))
 	if coal.NumNodes() >= plain.NumNodes() {
 		t.Errorf("coalescing did not shrink graph: %d -> %d", plain.NumNodes(), coal.NumNodes())
 	}
@@ -207,7 +215,7 @@ func TestHeuristicFilters(t *testing.T) {
 	}
 	tr.Add(scan)
 
-	g := Build(tr, Options{BlanketMaxTuples: 20})
+	g := mustBuild(Build(tr, Options{BlanketMaxTuples: 20}))
 	if g.Trace.Len() != 50 {
 		t.Errorf("blanket filter kept %d txns, want 50", g.Trace.Len())
 	}
@@ -219,13 +227,13 @@ func TestHeuristicFilters(t *testing.T) {
 		}
 	}
 
-	g2 := Build(tr, Options{TxnSampleRate: 0.5, Seed: 1})
+	g2 := mustBuild(Build(tr, Options{TxnSampleRate: 0.5, Seed: 1}))
 	if g2.Trace.Len() >= 51 || g2.Trace.Len() == 0 {
 		t.Errorf("txn sampling kept %d txns, want roughly half", g2.Trace.Len())
 	}
 
 	// Relevance filter: tuples appearing once (the scan tuples) vanish.
-	g3 := Build(tr, Options{MinAccesses: 3})
+	g3 := mustBuild(Build(tr, Options{MinAccesses: 3}))
 	for _, tuples := range g3.GroupTuples {
 		for _, id := range tuples {
 			if g3.Stats().Accesses(id) < 3 {
@@ -243,8 +251,8 @@ func TestStarEdgesAblation(t *testing.T) {
 			{Tuple: tid(0)}, {Tuple: tid(1)}, {Tuple: tid(2)}, {Tuple: tid(3)},
 		})
 	}
-	clique := Build(tr, Options{TxnEdges: CliqueEdges})
-	star := Build(tr, Options{TxnEdges: StarEdges})
+	clique := mustBuild(Build(tr, Options{TxnEdges: CliqueEdges}))
+	star := mustBuild(Build(tr, Options{TxnEdges: StarEdges}))
 	if clique.NumEdges() != 6 {
 		t.Errorf("clique edges = %d, want 6", clique.NumEdges())
 	}
@@ -257,10 +265,10 @@ func TestDataSizeWeights(t *testing.T) {
 	tid := func(k int64) workload.TupleID { return workload.TupleID{Table: "t", Key: k} }
 	tr := workload.NewTrace()
 	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(2)}})
-	g := Build(tr, Options{
+	g := mustBuild(Build(tr, Options{
 		Weights:   DataSizeWeight,
 		TupleSize: func(id workload.TupleID) int64 { return 100 + id.Key },
-	})
+	}))
 	if g.CSR.TotalNodeWeight() != 101+102 {
 		t.Errorf("total node weight = %d, want 203", g.CSR.TotalNodeWeight())
 	}
@@ -273,7 +281,7 @@ func TestWorkloadWeights(t *testing.T) {
 	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(2)}})
 	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(3)}})
 	tr.Add([]workload.Access{{Tuple: tid(1)}, {Tuple: tid(4)}})
-	g := Build(tr, Options{Weights: WorkloadWeight})
+	g := mustBuild(Build(tr, Options{Weights: WorkloadWeight}))
 	n1 := g.groupBase[g.TupleGroup()[tid(1)]]
 	if w := g.CSR.NWgt[n1]; w != 3 {
 		t.Errorf("workload weight of hot tuple = %d, want 3", w)

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	valid := []Options{
+		{},
+		{Coalesce: true, Replication: true},
+		{TxnSampleRate: 0.5, TupleSampleRate: 0.5},
+		{Coalesce: true, TxnSampleRate: 0.5}, // txn sampling keeps signatures intact
+		{Coalesce: true, TupleSampleRate: 1}, // 1 disables sampling
+		{Weights: DataSizeWeight, TxnEdges: StarEdges},
+	}
+	for i, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("valid options %d: Validate() = %v", i, err)
+		}
+	}
+
+	invalid := []struct {
+		opts  Options
+		field string
+	}{
+		{Options{TxnSampleRate: -0.1}, "TxnSampleRate"},
+		{Options{TxnSampleRate: 1.5}, "TxnSampleRate"},
+		{Options{TupleSampleRate: math.NaN()}, "TupleSampleRate"},
+		{Options{BlanketMaxTuples: -1}, "BlanketMaxTuples"},
+		{Options{MinAccesses: -2}, "MinAccesses"},
+		{Options{Weights: 99}, "Weights"},
+		{Options{TxnEdges: 99}, "TxnEdges"},
+		{Options{Coalesce: true, TupleSampleRate: 0.5}, "TupleSampleRate"},
+	}
+	for i, tc := range invalid {
+		err := tc.opts.Validate()
+		var oe *OptionsError
+		if !errors.As(err, &oe) {
+			t.Errorf("invalid options %d: Validate() = %v, want *OptionsError", i, err)
+			continue
+		}
+		if oe.Field != tc.field {
+			t.Errorf("invalid options %d: Field = %q, want %q", i, oe.Field, tc.field)
+		}
+	}
+}
+
+// TestBuildRejectsInvalidOptions checks both builders validate up front:
+// contradictory settings fail with the typed error instead of silently
+// producing a sample-dependent graph.
+func TestBuildRejectsInvalidOptions(t *testing.T) {
+	bad := Options{Coalesce: true, TupleSampleRate: 0.5}
+	var oe *OptionsError
+	if _, err := Build(bankTrace(), bad); !errors.As(err, &oe) {
+		t.Errorf("Build with contradictory options: err = %v, want *OptionsError", err)
+	}
+	if _, err := BuildHyper(bankTrace(), bad); !errors.As(err, &oe) {
+		t.Errorf("BuildHyper with contradictory options: err = %v, want *OptionsError", err)
+	}
+}

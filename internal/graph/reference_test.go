@@ -219,7 +219,11 @@ func referenceBuild(tr *workload.Trace, opts Options) *refGraph {
 			edges = append(edges, metis.BuilderEdge{U: base, V: base + 1 + int32(ri), Weight: updates})
 		}
 	}
-	g.csr = metis.NewGraph(int(numNodes), edges, nwgt)
+	csr, err := metis.NewGraph(int(numNodes), edges, nwgt)
+	if err != nil {
+		panic(err)
+	}
+	g.csr = csr
 	return g
 }
 
@@ -304,7 +308,7 @@ func TestBuildMatchesReference(t *testing.T) {
 		tr := randomTrace(rng, 60+trial*40)
 		for oi, opts := range optsMatrix {
 			t.Run(fmt.Sprintf("trial%d/opts%d", trial, oi), func(t *testing.T) {
-				g := Build(tr, opts)
+				g := mustBuild(Build(tr, opts))
 				ref := referenceBuild(tr, opts)
 				assertMatchesReference(t, g, ref)
 				if err := g.CSR.Validate(); err != nil {
@@ -325,10 +329,10 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 
 	defer func() { maxWorkers = 0 }()
 	maxWorkers = 1
-	base := Build(tr, opts)
+	base := mustBuild(Build(tr, opts))
 	for _, w := range []int{2, 3, 8, 64} {
 		maxWorkers = w
-		g := Build(tr, opts)
+		g := mustBuild(Build(tr, opts))
 		if !reflect.DeepEqual(g.CSR, base.CSR) {
 			t.Fatalf("CSR differs at %d workers", w)
 		}
@@ -343,7 +347,7 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 func TestDenseAssignmentsMatchesMap(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	tr := randomTrace(rng, 200)
-	g := Build(tr, Options{Replication: true, Seed: 2})
+	g := mustBuild(Build(tr, Options{Replication: true, Seed: 2}))
 	parts, _, err := g.Partition(3, metis.Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)

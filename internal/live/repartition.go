@@ -17,6 +17,10 @@ type RepartitionConfig struct {
 	Graph graph.Options
 	// Metis configures the partitioner.
 	Metis metis.Options
+	// Hyper selects the hypergraph-native representation (graph.BuildHyper
+	// + connectivity-metric partitioning) instead of the clique expansion;
+	// EdgeCut then reports the connectivity cost.
+	Hyper bool
 	// NaiveLabels disables the minimal-movement relabeling (ablation: use
 	// the partitioner's raw labels).
 	NaiveLabels bool
@@ -35,6 +39,13 @@ type Repartition struct {
 	// Perm is the applied new→old label permutation (identity under
 	// NaiveLabels).
 	Perm []int
+	// Cycle is this run's index in the repartitioner's lifetime, and
+	// SampleSeed the sampling seed derived from it: cycleSeed(base, Cycle).
+	// Two repartitioners with equal configs produce byte-identical graphs
+	// at equal cycle indices, at any GOMAXPROCS — but successive cycles
+	// sample independently instead of replaying one sample forever.
+	Cycle      uint64
+	SampleSeed int64
 	// Diff compares the deployed placement with the relabeled one — the
 	// migration this run implies. NaiveDiff is the same comparison without
 	// relabeling; the gap is the movement the relabeler saved.
@@ -55,6 +66,23 @@ type Repartition struct {
 type Repartitioner struct {
 	cfg    RepartitionConfig
 	solver *metis.Solver
+	cycle  uint64
+}
+
+// cycleSeed derives the deterministic per-cycle sampling seed from the
+// configured base seed: a splitmix64-style mix, so every cycle draws an
+// independent sample while a fixed base seed still reproduces the exact
+// sequence of sampled graphs. Before this, every cycle reused the base
+// seed verbatim and sampling-enabled configs re-sampled the same
+// transactions forever, silently biasing live repartitioning.
+func cycleSeed(base int64, cycle uint64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(cycle+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // NewRepartitioner returns a repartitioner for the given configuration.
@@ -66,17 +94,38 @@ func NewRepartitioner(cfg RepartitionConfig) *Repartitioner {
 // partitions it, and relabels the result against the deployed placement
 // (locate; may be nil when there is none) so that the fewest tuples move.
 func (r *Repartitioner) Repartition(tr *workload.Trace, locate LocateFunc) (*Repartition, error) {
+	cycle := r.cycle
+	r.cycle++
+	gopts := r.cfg.Graph
+	gopts.Seed = cycleSeed(gopts.Seed, cycle)
+
 	phase := time.Now()
-	g := graph.Build(tr, r.cfg.Graph)
+	var g *graph.Graph
+	var err error
+	if r.cfg.Hyper {
+		g, err = graph.BuildHyper(tr, gopts)
+	} else {
+		g, err = graph.Build(tr, gopts)
+	}
+	if err != nil {
+		return nil, err
+	}
 	graphDur := time.Since(phase)
 
 	phase = time.Now()
-	parts, cut, err := r.solver.PartKway(g.CSR, r.cfg.K, r.cfg.Metis)
+	var parts []int32
+	var cut int64
+	if r.cfg.Hyper {
+		parts, cut, err = r.solver.PartHKway(g.HG, r.cfg.K, r.cfg.Metis)
+	} else {
+		parts, cut, err = r.solver.PartKway(g.CSR, r.cfg.K, r.cfg.Metis)
+	}
 	if err != nil {
 		return nil, err
 	}
 	cutDur := time.Since(phase)
 	res := &Repartition{Graph: g, EdgeCut: cut, Tuples: g.Intern.Tuples(),
+		Cycle: cycle, SampleSeed: gopts.Seed,
 		PhaseGraph: graphDur, PhaseCut: cutDur}
 
 	newSets := g.DenseAssignments(parts)

@@ -44,7 +44,7 @@ func BenchmarkNewGraph(b *testing.B) {
 	b.ReportAllocs()
 	var g *Graph
 	for i := 0; i < b.N; i++ {
-		g = NewGraph(60000, edges, nil)
+		g = mustGraph(NewGraph(60000, edges, nil))
 	}
 	b.ReportMetric(float64(g.NumEdges()), "edges")
 }

@@ -190,6 +190,13 @@ func (s *Solver) contract(f *Graph, cmap []int32, numCoarse int, out *levelData)
 	}
 	s.tadj, s.tewgt = tadj, tewgt
 	m := len(tadj)
+	// A coarse row folds a subset of the fine adjacency, so m can never
+	// exceed the fine entry count and the int32 offsets below are safe by
+	// induction from NewGraph's overflow guard; assert it anyway so a
+	// future invariant break fails loudly instead of wrapping.
+	if int64(m) > maxCSREntries {
+		panic("metis: contracted graph exceeds int32 CSR index capacity")
+	}
 
 	// Symmetric scatter: row cv receives its neighbours c in ascending
 	// order because source rows are visited in ascending order, and the

@@ -11,12 +11,22 @@
 // (NewGraph) is map-free: packed (u,v) keys are ordered by two stable
 // counting-sort passes and duplicates fold in one linear scan, which
 // matters both for workload-graph construction and for every coarsening
-// level built during partitioning (see DESIGN.md).
+// level built during partitioning (see DESIGN.md). CSR capacity is
+// int32-indexed; NewGraph, NewHGraph and CheckCSRCapacity reject inputs
+// past that limit with ErrTooLarge instead of silently wrapping.
+//
+// PartHKway is the hypergraph counterpart (hgraph.go, hcoarsen.go,
+// hrefine.go, hkway.go): the same multilevel shape over pin lists,
+// minimising the connectivity metric Σ w(e)·(λ(e)−1) — the number of
+// extra partitions each net spans — which prices distributed
+// transactions and replication exactly where the clique expansion can
+// only approximate them (see DESIGN.md "Hypergraph partitioning").
 package metis
 
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Graph is an undirected graph in CSR (adjacency) form. Every edge {u,v}
@@ -172,6 +182,34 @@ type BuilderEdge struct {
 	Weight int64
 }
 
+// ErrTooLarge reports an input whose CSR arrays would overflow the int32
+// index space (more than 2^31-1 adjacency or pin entries). Before the
+// guard existed, xadj offsets silently wrapped negative on such inputs;
+// now construction fails loudly and callers can fall back to sampling or
+// the hypergraph path (which is linear in access-set size).
+var ErrTooLarge = errors.New("metis: graph exceeds int32 CSR index capacity")
+
+// maxCSREntries bounds the folded directed-adjacency (and hypergraph
+// pin) count so int32 offsets cannot wrap. Tests lower it to exercise
+// the boundary without allocating multi-gigabyte inputs.
+var maxCSREntries = int64(math.MaxInt32)
+
+// CheckCSRCapacity returns ErrTooLarge (wrapped) when `entries` directed
+// adjacency or pin entries would overflow the int32 CSR index space.
+// Graph builders call it with their raw entry count before allocating
+// edge or pin arrays, so an oversized workload fails with a clear error
+// up front instead of attempting a multi-gigabyte allocation and then
+// wrapping offsets. The raw count is an upper bound on the folded count,
+// so the check is conservative; NewGraph and NewHGraph re-check the
+// exact final size.
+func CheckCSRCapacity(entries int64) error {
+	if entries > maxCSREntries {
+		return fmt.Errorf("metis: %d CSR entries over the int32 limit %d: %w",
+			entries, maxCSREntries, ErrTooLarge)
+	}
+	return nil
+}
+
 // NewGraph assembles a CSR graph from an edge list, merging duplicate
 // edges by summing their weights. nodeWeights may be nil (all ones).
 // Self-loops are dropped.
@@ -181,7 +219,11 @@ type BuilderEdge struct {
 // O(E+N), duplicates folded in one linear scan, and both CSR directions
 // scattered from the sorted run. Adjacency lists come out sorted by
 // neighbour id, and identical input always yields identical output.
-func NewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) *Graph {
+//
+// Returns ErrTooLarge (wrapped) when the folded graph needs more than
+// 2^31-1 directed adjacency entries, which int32 XAdj offsets cannot
+// address.
+func NewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) (*Graph, error) {
 	// Pack normalised u < v keys; drop self-loops.
 	keys := make([]uint64, 0, len(edges))
 	wts := make([]int64, 0, len(edges))
@@ -220,6 +262,13 @@ func NewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) *Graph {
 		keys, wts = keys[:m], wts[:m]
 	}
 
+	// Overflow guard: every distinct edge contributes two directed
+	// adjacency entries, and XAdj offsets are int32.
+	if 2*int64(len(keys)) > maxCSREntries {
+		return nil, fmt.Errorf("metis: %d edges need %d adjacency entries, over the int32 limit %d: %w",
+			len(keys), 2*int64(len(keys)), maxCSREntries, ErrTooLarge)
+	}
+
 	for i := range count {
 		count[i] = 0
 	}
@@ -244,7 +293,7 @@ func NewGraph(numNodes int, edges []BuilderEdge, nodeWeights []int64) *Graph {
 		adj[count[v]], ewgt[count[v]] = u, w
 		count[v]++
 	}
-	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt, NWgt: nodeWeights}
+	return &Graph{XAdj: xadj, Adj: adj, EWgt: ewgt, NWgt: nodeWeights}, nil
 }
 
 // countingSortPass stably sorts (src, srcW) into (dst, dstW) by the 32-bit

@@ -94,7 +94,7 @@ func TestNewGraphMatchesNaive(t *testing.T) {
 				nwgt[i] = int64(1 + rng.Intn(9))
 			}
 		}
-		got := NewGraph(n, edges, nwgt)
+		got := mustGraph(NewGraph(n, edges, nwgt))
 		want := naiveNewGraph(n, edges, nwgt)
 		graphsEqual(t, got, want)
 		if err := got.Validate(); err != nil {
@@ -104,11 +104,11 @@ func TestNewGraphMatchesNaive(t *testing.T) {
 }
 
 func TestNewGraphEmpty(t *testing.T) {
-	g := NewGraph(0, nil, nil)
+	g := mustGraph(NewGraph(0, nil, nil))
 	if g.NumNodes() != 0 || g.NumEdges() != 0 {
 		t.Fatalf("empty graph: nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
 	}
-	g = NewGraph(3, nil, nil)
+	g = mustGraph(NewGraph(3, nil, nil))
 	if g.NumNodes() != 3 || g.NumEdges() != 0 {
 		t.Fatalf("edgeless graph: nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
 	}

@@ -148,7 +148,7 @@ func naiveContract(g *Graph, cmap []int32, numCoarse int) *Graph {
 			}
 		}
 	}
-	return NewGraph(numCoarse, edges, nwgt)
+	return mustGraph(NewGraph(numCoarse, edges, nwgt))
 }
 
 func naiveInitialPartition(g *Graph, k int, targets []float64, imbalance float64, rng *rand.Rand) []int32 {
@@ -214,7 +214,7 @@ func naiveInduce(g *Graph, nodes []int32) *Graph {
 			edges = append(edges, BuilderEdge{U: int32(i), V: lv, Weight: g.edgeWeight(j)})
 		}
 	}
-	return NewGraph(len(nodes), edges, nwgt)
+	return mustGraph(NewGraph(len(nodes), edges, nwgt))
 }
 
 func naiveBisect(g *Graph, fracL, imbalance float64, rng *rand.Rand) []int32 {

@@ -63,6 +63,22 @@ type Solver struct {
 	localID    []int32 // coarsest node -> local id in the induced subgraph
 	stampGen   int32
 	bis        bisectScratch
+
+	// Hypergraph hierarchy and scratch (see hkway.go / hrefine.go).
+	hlevels  []*hlevelData
+	hscore   []int64          // matching: per-candidate connectivity accumulator
+	hcand    []int32          // candidates with nonzero hscore, for sparse reset
+	hpinTmp  []int32          // contraction: coarse pin buffer for one net
+	hnetSeen map[uint64]int32 // contraction: pin-set hash -> coarse net index
+	cliq     []BuilderEdge    // coarsest-level clique-expansion buffer
+
+	// λ−1 refinement scratch: per-net (part, pin-count) spans, swap-delete
+	// compacted so the live span length of net e is exactly λ(e).
+	hpOff  []int32 // net -> base slot of its span (capacity min(|e|, k))
+	hpPart []int32 // slot -> partition id
+	hpCnt  []int32 // slot -> pins of the net in that partition
+	hpLen  []int32 // net -> live slots == λ(net)
+	hbcnt  []int32 // node -> incident nets with λ > 1 (boundary test)
 }
 
 // levelData is the reusable storage for one rung of the hierarchy.
@@ -76,6 +92,22 @@ type levelData struct {
 	ewgt  []int64
 	nwgt  []int64
 	graph Graph
+}
+
+// hlevelData is the reusable storage for one rung of the hypergraph
+// hierarchy, the dual of levelData: coarse pin lists, merged net
+// weights, and the node → net transpose.
+type hlevelData struct {
+	cmap  []int32 // this level's node -> next-coarser node
+	parts []int32 // partition labels at this level (levels > 0)
+
+	xpins  []int32
+	pins   []int32
+	netwgt []int64
+	nwgt   []int64
+	xnets  []int32
+	nets   []int32
+	hg     HGraph
 }
 
 // bisectScratch holds the buffers of the recursive-bisection initial
@@ -119,6 +151,14 @@ func (s *Solver) level(i int) *levelData {
 		s.levels = append(s.levels, &levelData{})
 	}
 	return s.levels[i]
+}
+
+// hlevel returns the i-th hlevelData, extending the hierarchy as needed.
+func (s *Solver) hlevel(i int) *hlevelData {
+	for len(s.hlevels) <= i {
+		s.hlevels = append(s.hlevels, &hlevelData{})
+	}
+	return s.hlevels[i]
 }
 
 // grow returns b with length n, reallocating (with headroom) only when

@@ -207,12 +207,12 @@ func TestPartKwayBalanceCaps(t *testing.T) {
 // plus the new sortedness requirement.
 func TestValidateMergeScan(t *testing.T) {
 	base := func() *Graph {
-		return NewGraph(4, []BuilderEdge{
+		return mustGraph(NewGraph(4, []BuilderEdge{
 			{U: 0, V: 1, Weight: 2},
 			{U: 0, V: 2, Weight: 3},
 			{U: 1, V: 2, Weight: 4},
 			{U: 2, V: 3, Weight: 5},
-		}, nil)
+		}, nil))
 	}
 	if err := base().Validate(); err != nil {
 		t.Fatalf("valid graph rejected: %v", err)

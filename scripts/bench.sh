@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Runs the performance-tracked benchmarks — graph construction
-# (graph.Build, metis.NewGraph), the multilevel partitioner
-# (BenchmarkPartKway on the TPCC-50W-scale graph, BenchmarkPartKwaySolver
-# steady-state), the live incremental-repartitioning cycle
+# (graph.Build, metis.NewGraph; BenchmarkHGraphBuild is the
+# hypergraph-native build whose ns_per_op and bytes_per_op against
+# BenchmarkGraphBuild/clique are the PR-9 acceptance numbers), the
+# multilevel partitioner (BenchmarkPartKway on the TPCC-50W-scale graph,
+# BenchmarkPartKwaySolver steady-state, BenchmarkPartHKway on the same
+# trace's hypergraph — both record the shared %distributed quality
+# metric so the two pipelines stay directly comparable PR over PR), the
+# live incremental-repartitioning cycle
 # (BenchmarkLiveRepartition), the explanation-phase decision-tree trainer
 # (BenchmarkExplain: columnar vs the seed implementation), the routing
 # hot path (BenchmarkRouterLocate: HashIndex vs the compressed Compact /
@@ -51,11 +56,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC|BenchmarkWALAppend|BenchmarkWALAnalyze|BenchmarkRecoveryReplay|BenchmarkChaosConvergence|BenchmarkFailover|BenchmarkObsRecord|BenchmarkTraceSpan' -benchmem \
+go test -run '^$' -bench 'BenchmarkGraphBuild|BenchmarkHGraphBuild|BenchmarkNewGraph|BenchmarkPartKway|BenchmarkPartHKway|BenchmarkLiveRepartition|BenchmarkExplain|BenchmarkRouterLocate|BenchmarkRouterBuild|BenchmarkHistRecord|BenchmarkHistQuantile|BenchmarkDriverTPCC|BenchmarkBenchTPCC|BenchmarkWALAppend|BenchmarkWALAnalyze|BenchmarkRecoveryReplay|BenchmarkChaosConvergence|BenchmarkFailover|BenchmarkObsRecord|BenchmarkTraceSpan' -benchmem \
     -benchtime "${BENCHTIME:-3x}" . ./internal/graph ./internal/metis ./internal/dtree ./internal/lookup ./internal/cluster ./internal/cluster/wal ./internal/driver ./internal/experiments ./internal/obs | tee "$TXT"
 
 awk '
