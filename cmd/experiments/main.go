@@ -8,6 +8,7 @@
 //	experiments -run table1  # graph sizes (Table 1)
 //	experiments -run hyper   # hypergraph vs clique expansion comparison
 //	experiments -run drift    # online repartitioning under workload drift
+//	experiments -run adapt    # warm-start vs full-cut repartitioning cycles
 //	experiments -run bench    # end-to-end strategy-comparison benchmark
 //	experiments -run failover # availability through a leader crash vs R
 //	experiments -run all
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|hyper|drift|bench|failover|all")
+	run := flag.String("run", "all", "which experiment: fig1|fig4|fig5|fig6|table1|hyper|drift|adapt|bench|failover|all")
 	scale := flag.Int("scale", 1, "dataset scale factor")
 	quick := flag.Bool("quick", false, "tiny datasets for smoke runs")
 	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
@@ -96,6 +97,17 @@ func main() {
 				os.Exit(1)
 			}
 			experiments.PrintDrift(os.Stdout, res)
+			fmt.Println()
+		}
+	})
+	do("adapt", func() {
+		for _, sc := range []string{"ycsb", "tpcc"} {
+			res, err := experiments.Adapt(sc, s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adapt:", err)
+				os.Exit(1)
+			}
+			experiments.PrintAdapt(os.Stdout, res)
 			fmt.Println()
 		}
 	})

@@ -18,6 +18,13 @@
 //
 //	schism drift -scenario ycsb|tpcc [-scale n] [-quick] [-sim-only] [-obs addr]
 //
+// The adapt subcommand compares warm-start (refine-only, drift-gated)
+// repartitioning cycles against from-scratch full cuts on the drift
+// scenarios, reporting per-cycle mode, cycle time, movement, and
+// distributed rate:
+//
+//	schism adapt -scenario ycsb|tpcc [-scale n] [-quick]
+//
 // The bench subcommand runs the end-to-end strategy-comparison benchmark:
 // concurrent closed-loop (or open-loop) clients drive identical TPC-C
 // transaction streams through a simulated cluster under Schism lookup
@@ -91,6 +98,24 @@ func driftMain(args []string) {
 	experiments.PrintDrift(os.Stdout, res)
 }
 
+// adaptMain drives the warm-start vs full-cut cycle comparison.
+func adaptMain(args []string) {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	scenario := fs.String("scenario", "ycsb", "drift scenario: ycsb|tpcc")
+	scale := fs.Int("scale", 1, "dataset scale factor")
+	quick := fs.Bool("quick", false, "tiny datasets for smoke runs")
+	obsAddr := fs.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	fs.Parse(args)
+	serveObs(*obsAddr)
+
+	res, err := experiments.Adapt(*scenario, experiments.Scale{Factor: *scale, Quick: *quick})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schism adapt:", err)
+		os.Exit(1)
+	}
+	experiments.PrintAdapt(os.Stdout, res)
+}
+
 // benchMain drives the strategy-comparison benchmark.
 func benchMain(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
@@ -134,6 +159,10 @@ func benchMain(args []string) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "drift" {
 		driftMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "adapt" {
+		adaptMain(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {

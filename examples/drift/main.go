@@ -29,7 +29,10 @@ func main() {
 	phaseB := workloads.YCSBGroups(cfgB)
 
 	// Offline initial deployment from the phase-0 trace.
-	rep := live.NewRepartitioner(live.RepartitionConfig{K: k, Graph: gopts, Metis: mopts})
+	rep, err := live.NewRepartitioner(live.RepartitionConfig{K: k, Graph: gopts, Metis: mopts})
+	if err != nil {
+		panic(err)
+	}
 	initial, err := rep.Repartition(phaseA.Trace, nil)
 	if err != nil {
 		panic(err)
@@ -39,7 +42,7 @@ func main() {
 	// The control loop: capture window + drift detector + repartitioner.
 	// (No cluster here, so routing entries flip logically; see
 	// `schism drift` for the full cluster run with tuple migration.)
-	ctrl := live.NewController(live.Config{
+	ctrl, err := live.NewController(live.Config{
 		K:      k,
 		Window: live.WindowConfig{Capacity: 1500},
 		Detector: live.DetectorConfig{
@@ -48,6 +51,9 @@ func main() {
 		},
 		Repartition: live.RepartitionConfig{Graph: gopts, Metis: mopts},
 	}, tables, nil)
+	if err != nil {
+		panic(err)
+	}
 
 	feed := func(w *workloads.Workload, label string) {
 		for i, tx := range w.Trace.Txns {

@@ -229,16 +229,22 @@ func DriftSimRun(name string, s Scale) (DriftSim, error) {
 	if err != nil {
 		return DriftSim{}, err
 	}
-	rep := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts})
+	rep, err := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts})
+	if err != nil {
+		return DriftSim{}, err
+	}
 	initial, err := rep.Repartition(sc.initialTr, nil)
 	if err != nil {
 		return DriftSim{}, err
 	}
 	deployed, tables := live.DeployLookup(sc.db, sc.k, sc.keyCols, initial.LocateFunc())
-	ctrl := live.NewController(live.Config{
+	ctrl, err := live.NewController(live.Config{
 		K: sc.k, Window: sc.window, Detector: sc.detector,
 		Repartition: live.RepartitionConfig{Graph: sc.gopts, Metis: sc.mopts},
 	}, tables, nil)
+	if err != nil {
+		return DriftSim{}, err
+	}
 
 	feed := func(tr *workload.Trace) error {
 		for i, tx := range tr.Txns {
@@ -267,8 +273,11 @@ func DriftSimRun(name string, s Scale) (DriftSim, error) {
 		out.MovedRelabel, out.MovedNaive = ads[0].Diff.Moved, ads[0].NaiveDiff.Moved
 	}
 
-	offline, err := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts}).
-		Repartition(sc.shiftedTr, nil)
+	offrep, err := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts})
+	if err != nil {
+		return DriftSim{}, err
+	}
+	offline, err := offrep.Repartition(sc.shiftedTr, nil)
 	if err != nil {
 		return DriftSim{}, err
 	}
@@ -291,7 +300,10 @@ func DriftClusterRun(name string, s Scale) (DriftCluster, error) {
 
 // runDriftClusterScenario is the scenario-parameterised cluster driver.
 func runDriftClusterScenario(sc driftScenario) (DriftCluster, error) {
-	rep := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts})
+	rep, err := live.NewRepartitioner(live.RepartitionConfig{K: sc.k, Graph: sc.gopts, Metis: sc.mopts})
+	if err != nil {
+		return DriftCluster{}, err
+	}
 	initial, err := rep.Repartition(sc.initialTr, nil)
 	if err != nil {
 		return DriftCluster{}, err
@@ -334,11 +346,14 @@ func runDriftClusterScenario(sc driftScenario) (DriftCluster, error) {
 	if sc.clusterCheck > 0 {
 		check = sc.clusterCheck
 	}
-	ctrl := live.NewController(live.Config{
+	ctrl, err := live.NewController(live.Config{
 		K: sc.k, Window: sc.window, Detector: det, CheckEvery: check,
 		Repartition: live.RepartitionConfig{Graph: sc.gopts, Metis: sc.mopts},
 		Obs:         reg,
 	}, tables, exec)
+	if err != nil {
+		return DriftCluster{}, err
+	}
 	ctrl.Start()
 	co.SetCapture(ctrl.Record)
 

@@ -55,6 +55,11 @@ type Adaptation struct {
 	AtTxn uint64
 	// Reason is the detector's trigger explanation.
 	Reason string
+	// Mode records whether the cycle ran the full multilevel cut or a
+	// warm-start refinement, and Drift the detector's degradation ratio
+	// that fed the policy.
+	Mode  CycleMode
+	Drift float64
 	// Before and After score the deployment against the same window
 	// snapshot, pre- and post-adaptation.
 	Before, After Score
@@ -110,18 +115,23 @@ type Controller struct {
 // tables maps table name → the SyncTable the deployed partition.Lookup
 // routes through (the controller rewrites entries as it adapts). exec may
 // be nil for logical deployments (no cluster): entries then flip without
-// physical data movement.
-func NewController(cfg Config, tables map[string]*SyncTable, exec *Executor) *Controller {
+// physical data movement. An invalid repartitioning configuration (K <= 0,
+// bad graph options) returns the repartitioner's typed error.
+func NewController(cfg Config, tables map[string]*SyncTable, exec *Executor) (*Controller, error) {
 	cfg = cfg.withDefaults()
+	rep, err := NewRepartitioner(cfg.Repartition)
+	if err != nil {
+		return nil, err
+	}
 	return &Controller{
 		cfg:    cfg,
 		win:    NewWindow(cfg.Window),
 		det:    NewDetector(cfg.Detector),
-		rep:    NewRepartitioner(cfg.Repartition),
+		rep:    rep,
 		tables: tables,
 		exec:   exec,
 		notify: make(chan struct{}, 1),
-	}
+	}, nil
 }
 
 // Window exposes the capture window (for wiring and inspection).
@@ -188,9 +198,10 @@ func (c *Controller) Tick() (*Adaptation, error) {
 	if !trigger {
 		return nil, nil
 	}
+	drift := c.det.Drift(score)
 
 	start := time.Now()
-	rep, err := c.rep.Repartition(snap, c.Locate)
+	rep, err := c.rep.RepartitionDrift(snap, c.Locate, drift)
 	if err != nil {
 		return nil, fmt.Errorf("live: repartition failed: %w", err)
 	}
@@ -198,13 +209,17 @@ func (c *Controller) Tick() (*Adaptation, error) {
 	ad := Adaptation{
 		AtTxn:  total,
 		Reason: reason,
+		Mode:   rep.Mode, Drift: drift,
 		Before: score, EdgeCut: rep.EdgeCut,
 		Diff: rep.Diff, NaiveDiff: rep.NaiveDiff,
 		Phases: CyclePhases{Graph: rep.PhaseGraph, Cut: rep.PhaseCut,
 			Relabel: rep.PhaseRelabel},
 	}
 	phase := time.Now()
-	plan := BuildPlan(rep.Tuples, c.Locate, rep.Assignments)
+	// The repartitioning already resolved every windowed tuple through
+	// c.Locate for its movement diff; plan from that instead of a second
+	// full placement pass.
+	plan := BuildPlanSets(rep.Tuples, rep.Deployed, rep.Assignments)
 	ad.Phases.Plan = time.Since(phase)
 
 	phase = time.Now()
@@ -222,7 +237,12 @@ func (c *Controller) Tick() (*Adaptation, error) {
 	ad.Phases.Migrate = time.Since(phase)
 
 	ad.After = ScoreWindow(snap, c.cfg.K, c.Locate)
-	c.det.SetBaseline(ad.After)
+	// Re-baseline only after a full cut: warm refinements keep the last
+	// full cut's baseline, so gradual degradation across consecutive warm
+	// cycles accumulates drift until DriftCutThreshold forces the escape.
+	if rep.Mode == ModeFull {
+		c.det.SetBaseline(ad.After)
+	}
 	c.lastAdaptAt = total
 	ad.Elapsed = time.Since(start)
 	c.adaptations = append(c.adaptations, ad)
@@ -251,10 +271,11 @@ func (c *Controller) observe(ad *Adaptation) {
 		reg.Hist(p.name).Record(p.d)
 	}
 	reg.Counter("live.adaptations").Inc()
+	reg.Counter("live.cycle." + string(ad.Mode)).Inc()
 	reg.Gauge("live.window.depth").Set(int64(c.win.Len()))
 	reg.Timeline().Add("migration", -1, -1,
-		fmt.Sprintf("moved=%d reason=%s cycle=%s",
-			ad.Migration.Moved, ad.Reason, ad.Elapsed.Round(time.Microsecond)))
+		fmt.Sprintf("mode=%s moved=%d reason=%s cycle=%s",
+			ad.Mode, ad.Migration.Moved, ad.Reason, ad.Elapsed.Round(time.Microsecond)))
 }
 
 // Start launches the background control loop: every CheckEvery captured

@@ -38,14 +38,14 @@ func runDriftScenario(t *testing.T, naive bool) driftRun {
 
 	// Offline initial deployment: partition the phase-A trace from scratch
 	// and cover every database tuple.
-	rep := NewRepartitioner(RepartitionConfig{K: k, Graph: gopts, Metis: mopts})
+	rep := mustRep(t, RepartitionConfig{K: k, Graph: gopts, Metis: mopts})
 	initial, err := rep.Repartition(phaseA.Trace, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, tables := DeployLookup(phaseA.DB, k, phaseA.KeyColumns, locateOf(initial, k))
 
-	ctrl := NewController(Config{
+	ctrl, err := NewController(Config{
 		K:      k,
 		Window: WindowConfig{Capacity: 1500},
 		Detector: DetectorConfig{
@@ -53,6 +53,9 @@ func runDriftScenario(t *testing.T, naive bool) driftRun {
 		},
 		Repartition: RepartitionConfig{Graph: gopts, Metis: mopts, NaiveLabels: naive},
 	}, tables, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	feed := func(tr *workload.Trace, every int) {
 		for i, tx := range tr.Txns {
@@ -79,7 +82,7 @@ func runDriftScenario(t *testing.T, naive bool) driftRun {
 	}
 
 	// From-scratch offline rerun on the pure post-shift trace.
-	offline, err := NewRepartitioner(RepartitionConfig{K: k, Graph: gopts, Metis: mopts}).
+	offline, err := mustRep(t, RepartitionConfig{K: k, Graph: gopts, Metis: mopts}).
 		Repartition(phaseB.Trace, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -129,6 +129,30 @@ func (d *Detector) SetBaseline(s Score) {
 // Baseline returns the current baseline score.
 func (d *Detector) Baseline() (Score, bool) { return d.baseline, d.hasBase }
 
+// Drift quantifies how far a score has degraded from the baseline as a
+// ratio: ~1 when the deployment is at baseline, larger as it worsens, 0
+// when there is no baseline yet or the window is below minimum. It takes
+// the worse of the distributed-fraction ratio (baseline floored at
+// DistributedFloor so a near-perfect baseline doesn't explode the ratio)
+// and the imbalance ratio. The repartitioner's DriftCutThreshold consumes
+// it to escape warm-start cycles on large workload shifts.
+func (d *Detector) Drift(s Score) float64 {
+	if !d.hasBase || s.Txns < d.cfg.MinWindow {
+		return 0
+	}
+	base := d.baseline.Distributed
+	if base < d.cfg.DistributedFloor {
+		base = d.cfg.DistributedFloor
+	}
+	drift := s.Distributed / base
+	if d.baseline.Imbalance > 0 {
+		if r := s.Imbalance / d.baseline.Imbalance; r > drift {
+			drift = r
+		}
+	}
+	return drift
+}
+
 // Check reports whether the score warrants repartitioning, and why. The
 // first scored window becomes the baseline when none is set.
 func (d *Detector) Check(s Score) (bool, string) {

@@ -34,13 +34,26 @@ type Plan struct {
 // transactions) are left alone: their rows live wherever they were
 // created, and only the routing layer knows nothing either way.
 func BuildPlan(tuples []workload.TupleID, locate LocateFunc, newSets [][]int) Plan {
+	oldSets := make([][]int, len(tuples))
+	for i, id := range tuples {
+		oldSets[i] = locate(id)
+	}
+	return BuildPlanSets(tuples, oldSets, newSets)
+}
+
+// BuildPlanSets is BuildPlan over pre-resolved deployed sets: oldSets[i]
+// is tuples[i]'s deployed replica set, nil when unknown. A Repartition
+// already resolved every windowed tuple once for its movement diff and
+// exposes the result as Deployed; planning from it skips a second
+// per-tuple map pass over the whole window.
+func BuildPlanSets(tuples []workload.TupleID, oldSets, newSets [][]int) Plan {
 	var p Plan
 	for i, id := range tuples {
 		to := newSets[i]
 		if to == nil {
 			continue
 		}
-		from := locate(id)
+		from := oldSets[i]
 		if from == nil {
 			continue
 		}

@@ -1,6 +1,8 @@
 package live
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"schism/internal/graph"
@@ -11,7 +13,7 @@ import (
 
 // RepartitionConfig tunes the incremental repartitioner.
 type RepartitionConfig struct {
-	// K is the number of partitions (required).
+	// K is the number of partitions (required, >= 1).
 	K int
 	// Graph configures workload-graph construction over the window.
 	Graph graph.Options
@@ -24,7 +26,69 @@ type RepartitionConfig struct {
 	// NaiveLabels disables the minimal-movement relabeling (ablation: use
 	// the partitioner's raw labels).
 	NaiveLabels bool
+	// WarmStart enables refine-only cycles: when a deployed placement
+	// exists, project it onto the new window's graph (graph.ProjectLabels)
+	// and run boundary-restricted refinement (metis.RefineKway/RefineHKway)
+	// instead of the full multilevel cut. Steady-state cycles then skip
+	// coarsening entirely — ROADMAP item 5's warm-start lever.
+	WarmStart bool
+	// FullCutEveryN forces a periodic full multilevel cut after every N-1
+	// consecutive warm cycles, the backstop against refine-only runs
+	// settling into a local minimum the full pipeline would escape. Zero
+	// means the default (16); negative disables periodic full cuts.
+	FullCutEveryN int
+	// DriftCutThreshold escapes straight to a full cut when the caller's
+	// drift measurement (Detector.Drift: degradation ratio vs the
+	// post-deployment baseline, ~1 when healthy) reaches this value —
+	// large workload shifts get the full pipeline immediately instead of
+	// waiting out the periodic backstop. Zero means the default (3);
+	// negative disables the escape hatch.
+	DriftCutThreshold float64
 }
+
+// ConfigError reports an invalid RepartitionConfig field. Both
+// constructors validate up front and return it typed, so a bad
+// configuration (K = 0, say) fails loudly at wiring time instead of deep
+// inside the solver mid-cycle.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("live: invalid RepartitionConfig.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration, returning a *ConfigError for the
+// first problem found (or the graph options' own typed error), or nil.
+func (c RepartitionConfig) Validate() error {
+	if c.K <= 0 {
+		return &ConfigError{Field: "K",
+			Reason: fmt.Sprintf("%d partitions (must be >= 1)", c.K)}
+	}
+	return c.Graph.Validate()
+}
+
+// withDefaults fills the warm-start policy defaults.
+func (c RepartitionConfig) withDefaults() RepartitionConfig {
+	if c.FullCutEveryN == 0 {
+		c.FullCutEveryN = 16
+	}
+	if c.DriftCutThreshold == 0 {
+		c.DriftCutThreshold = 3
+	}
+	return c
+}
+
+// CycleMode labels how a repartitioning cycle computed its cut.
+type CycleMode string
+
+const (
+	// ModeFull is the full multilevel min-cut from scratch.
+	ModeFull CycleMode = "full"
+	// ModeWarm is the refine-only cycle seeded from the deployed placement.
+	ModeWarm CycleMode = "warm"
+)
 
 // Repartition is the outcome of one incremental repartitioning run.
 type Repartition struct {
@@ -32,6 +96,11 @@ type Repartition struct {
 	Graph *graph.Graph
 	// EdgeCut is the achieved min-cut.
 	EdgeCut int64
+	// Mode records whether this cycle ran the full multilevel cut or a
+	// warm-start refinement, and Drift echoes the drift measurement the
+	// policy decided on.
+	Mode  CycleMode
+	Drift float64
 	// Tuples and Assignments give the new placement: Assignments[i] is the
 	// (relabeled) replica set of Tuples[i].
 	Tuples      []workload.TupleID
@@ -51,12 +120,25 @@ type Repartition struct {
 	// relabeling; the gap is the movement the relabeler saved.
 	Diff      partition.Diff
 	NaiveDiff partition.Diff
+	// Deployed is the deployed replica set of each tuple (Deployed[i] for
+	// Tuples[i]), as resolved through the caller's locate function while
+	// computing Diff. Entries are nil for tuples the deployment does not
+	// know; the whole slice is nil-entried when locate was nil. Callers
+	// planning migration (BuildPlanSets) reuse it instead of paying a
+	// second per-tuple placement lookup.
+	Deployed [][]int
 	// PhaseGraph/PhaseCut/PhaseRelabel break the run down into its three
 	// pipeline stages (graph build, min-cut, movement-minimizing
 	// relabel) — the attribution ROADMAP item 5's cycle-time work needs.
 	PhaseGraph   time.Duration
 	PhaseCut     time.Duration
 	PhaseRelabel time.Duration
+
+	// locateOnce/located memoize LocateFunc's placement map: the
+	// Controller and Executor both resolve through it every cycle, and
+	// rebuilding a map over every windowed tuple per call was pure waste.
+	locateOnce sync.Once
+	located    map[workload.TupleID][]int
 }
 
 // Repartitioner reruns the graph + min-cut pipeline over live windows. It
@@ -67,6 +149,9 @@ type Repartitioner struct {
 	cfg    RepartitionConfig
 	solver *metis.Solver
 	cycle  uint64
+	// sinceFull counts consecutive warm cycles since the last full cut,
+	// driving the FullCutEveryN backstop.
+	sinceFull int
 }
 
 // cycleSeed derives the deterministic per-cycle sampling seed from the
@@ -85,15 +170,46 @@ func cycleSeed(base int64, cycle uint64) int64 {
 	return int64(z)
 }
 
-// NewRepartitioner returns a repartitioner for the given configuration.
-func NewRepartitioner(cfg RepartitionConfig) *Repartitioner {
-	return &Repartitioner{cfg: cfg, solver: metis.NewSolver()}
+// NewRepartitioner returns a repartitioner for the given configuration,
+// or a typed *ConfigError when it is invalid.
+func NewRepartitioner(cfg RepartitionConfig) (*Repartitioner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Repartitioner{cfg: cfg.withDefaults(), solver: metis.NewSolver()}, nil
+}
+
+// chooseMode implements the drift-gated warm-start policy. Warm cycles
+// need the feature enabled and a deployed placement to project; a full
+// cut is forced periodically (FullCutEveryN) and immediately when the
+// measured drift reaches DriftCutThreshold.
+func (r *Repartitioner) chooseMode(locate LocateFunc, drift float64) CycleMode {
+	if !r.cfg.WarmStart || locate == nil {
+		return ModeFull
+	}
+	if r.cfg.FullCutEveryN > 0 && r.sinceFull >= r.cfg.FullCutEveryN-1 {
+		return ModeFull
+	}
+	if r.cfg.DriftCutThreshold > 0 && drift >= r.cfg.DriftCutThreshold {
+		return ModeFull
+	}
+	return ModeWarm
 }
 
 // Repartition builds the workload graph for a window snapshot, min-cut
 // partitions it, and relabels the result against the deployed placement
 // (locate; may be nil when there is none) so that the fewest tuples move.
+// It always takes the full-cut path for drift purposes; callers with a
+// drift measurement use RepartitionDrift.
 func (r *Repartitioner) Repartition(tr *workload.Trace, locate LocateFunc) (*Repartition, error) {
+	return r.RepartitionDrift(tr, locate, 0)
+}
+
+// RepartitionDrift is Repartition with the caller's drift measurement
+// (Detector.Drift) feeding the warm-start policy: steady-state cycles
+// refine the projected deployed placement in place of the full multilevel
+// cut, and large drift or the periodic backstop escape back to it.
+func (r *Repartitioner) RepartitionDrift(tr *workload.Trace, locate LocateFunc, drift float64) (*Repartition, error) {
 	cycle := r.cycle
 	r.cycle++
 	gopts := r.cfg.Graph
@@ -112,20 +228,35 @@ func (r *Repartitioner) Repartition(tr *workload.Trace, locate LocateFunc) (*Rep
 	}
 	graphDur := time.Since(phase)
 
+	mode := r.chooseMode(locate, drift)
 	phase = time.Now()
 	var parts []int32
 	var cut int64
-	if r.cfg.Hyper {
-		parts, cut, err = r.solver.PartHKway(g.HG, r.cfg.K, r.cfg.Metis)
+	if mode == ModeWarm {
+		parts = g.ProjectLabels(r.cfg.K, locate)
+		if r.cfg.Hyper {
+			cut, err = r.solver.RefineHKway(g.HG, r.cfg.K, parts, r.cfg.Metis)
+		} else {
+			cut, err = r.solver.RefineKway(g.CSR, r.cfg.K, parts, r.cfg.Metis)
+		}
 	} else {
-		parts, cut, err = r.solver.PartKway(g.CSR, r.cfg.K, r.cfg.Metis)
+		if r.cfg.Hyper {
+			parts, cut, err = r.solver.PartHKway(g.HG, r.cfg.K, r.cfg.Metis)
+		} else {
+			parts, cut, err = r.solver.PartKway(g.CSR, r.cfg.K, r.cfg.Metis)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
+	if mode == ModeFull {
+		r.sinceFull = 0
+	} else {
+		r.sinceFull++
+	}
 	cutDur := time.Since(phase)
-	res := &Repartition{Graph: g, EdgeCut: cut, Tuples: g.Intern.Tuples(),
-		Cycle: cycle, SampleSeed: gopts.Seed,
+	res := &Repartition{Graph: g, EdgeCut: cut, Mode: mode, Drift: drift,
+		Tuples: g.Intern.Tuples(), Cycle: cycle, SampleSeed: gopts.Seed,
 		PhaseGraph: graphDur, PhaseCut: cutDur}
 
 	newSets := g.DenseAssignments(parts)
@@ -135,29 +266,40 @@ func (r *Repartitioner) Repartition(tr *workload.Trace, locate LocateFunc) (*Rep
 			oldSets[d] = locate(id)
 		}
 	}
+	res.Deployed = oldSets
 	res.NaiveDiff = partition.AssignmentDiff(oldSets, newSets, r.cfg.K)
 
 	phase = time.Now()
 	perm := identityPerm(r.cfg.K)
 	if !r.cfg.NaiveLabels && locate != nil {
 		perm = partition.RelabelMap(oldSets, newSets, r.cfg.K)
-		partition.ApplyRelabel(parts, perm)
-		newSets = g.DenseAssignments(parts)
+	}
+	if isIdentityPerm(perm) {
+		// Nothing to rename: the relabeled diff is the naive diff, no
+		// second assignment translation or diff pass needed.
+		res.Diff = res.NaiveDiff
+	} else {
+		partition.RelabelAssignments(newSets, perm)
+		res.Diff = partition.AssignmentDiff(oldSets, newSets, r.cfg.K)
 	}
 	res.PhaseRelabel = time.Since(phase)
 	res.Perm = perm
 	res.Assignments = newSets
-	res.Diff = partition.AssignmentDiff(oldSets, newSets, r.cfg.K)
 	return res, nil
 }
 
 // LocateFunc exposes the repartitioning as a placement function: the
-// relabeled replica set for tuples it covers, nil for anything else.
+// relabeled replica set for tuples it covers, nil for anything else. The
+// underlying map is built once and shared by every returned closure.
 func (r *Repartition) LocateFunc() LocateFunc {
-	m := make(map[workload.TupleID][]int, len(r.Tuples))
-	for i, id := range r.Tuples {
-		m[id] = r.Assignments[i]
-	}
+	r.locateOnce.Do(func() {
+		m := make(map[workload.TupleID][]int, len(r.Tuples))
+		for i, id := range r.Tuples {
+			m[id] = r.Assignments[i]
+		}
+		r.located = m
+	})
+	m := r.located
 	return func(id workload.TupleID) []int { return m[id] }
 }
 
@@ -167,4 +309,14 @@ func identityPerm(k int) []int {
 		perm[i] = i
 	}
 	return perm
+}
+
+// isIdentityPerm reports whether the permutation renames nothing.
+func isIdentityPerm(perm []int) bool {
+	for i, p := range perm {
+		if p != i {
+			return false
+		}
+	}
+	return true
 }

@@ -9,6 +9,16 @@ import (
 	"schism/internal/workloads"
 )
 
+// mustRep unwraps NewRepartitioner for configurations known to be valid.
+func mustRep(t *testing.T, cfg RepartitionConfig) *Repartitioner {
+	t.Helper()
+	rep, err := NewRepartitioner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 // TestRepartitionCycleSeedDeterminism pins the per-cycle sampling
 // contract: with a fixed base seed and transaction sampling enabled, two
 // fresh repartitioners produce byte-identical sampled graphs at each
@@ -26,7 +36,7 @@ func TestRepartitionCycleSeedDeterminism(t *testing.T) {
 
 	const cycles = 3
 	run := func() []*Repartition {
-		rep := NewRepartitioner(cfg)
+		rep := mustRep(t, cfg)
 		var out []*Repartition
 		for c := 0; c < cycles; c++ {
 			res, err := rep.Repartition(w.Trace, nil)
@@ -80,7 +90,7 @@ func TestRepartitionHyper(t *testing.T) {
 		Metis: metis.Options{Seed: 7},
 		Hyper: true,
 	}
-	res, err := NewRepartitioner(cfg).Repartition(w.Trace, nil)
+	res, err := mustRep(t, cfg).Repartition(w.Trace, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

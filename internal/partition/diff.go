@@ -1,5 +1,7 @@
 package partition
 
+import "sort"
+
 // Assignment-diff and relabeling helpers over dense replica-set
 // assignments ([][]int indexed by a shared dense tuple id, as produced by
 // graph.DenseAssignments). They serve the live repartitioning loop — the
@@ -171,5 +173,31 @@ func ApplyRelabel(parts []int32, perm []int) {
 		if int(p) >= 0 && int(p) < len(perm) {
 			parts[i] = int32(perm[p])
 		}
+	}
+}
+
+// RelabelAssignments applies a label permutation to a dense assignment in
+// place: every replica set s becomes {perm[p] : p ∈ s}, re-sorted so the
+// sets stay in the canonical order SetDelta expects. DenseAssignments
+// aliases one slice across all tuples of a coalesced group, so slices are
+// deduplicated by backing-array identity first — each distinct slice is
+// rewritten exactly once, never double-permuted. Labels outside
+// [0, len(perm)) are left alone, matching ApplyRelabel.
+func RelabelAssignments(sets [][]int, perm []int) {
+	done := make(map[*int]struct{}, len(sets))
+	for _, s := range sets {
+		if len(s) == 0 {
+			continue
+		}
+		if _, seen := done[&s[0]]; seen {
+			continue
+		}
+		done[&s[0]] = struct{}{}
+		for i, p := range s {
+			if p >= 0 && p < len(perm) {
+				s[i] = perm[p]
+			}
+		}
+		sort.Ints(s)
 	}
 }

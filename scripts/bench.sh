@@ -8,7 +8,11 @@
 # trace's hypergraph — both record the shared %distributed quality
 # metric so the two pipelines stay directly comparable PR over PR), the
 # live incremental-repartitioning cycle
-# (BenchmarkLiveRepartition), the explanation-phase decision-tree trainer
+# (BenchmarkLiveRepartition/{cold,warm}: the from-scratch clique
+# pipeline vs the PR-10 warm-start cycle — hypergraph build plus
+# refine-only from the projected deployed placement; the script FAILS
+# unless warm ns/op is strictly below cold, the same gate the
+# bench-smoke CI job applies), the explanation-phase decision-tree trainer
 # (BenchmarkExplain: columnar vs the seed implementation), the routing
 # hot path (BenchmarkRouterLocate: HashIndex vs the compressed Compact /
 # Runs representations, with per-table memory as table-bytes), the
@@ -56,7 +60,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
@@ -87,3 +91,21 @@ END { print "\n]" }
 ' "$TXT" > "$OUT"
 
 echo "wrote $OUT"
+
+# Warm-start gate: a warm (refine-only) live-repartitioning cycle must be
+# strictly cheaper than the cold from-scratch cycle, or the warm path has
+# regressed into repaying the full pipeline.
+awk '
+$1 ~ /^BenchmarkLiveRepartition\/cold/ { cold = $3 }
+$1 ~ /^BenchmarkLiveRepartition\/warm/ { warm = $3 }
+END {
+    if (cold == "" || warm == "") {
+        print "bench gate: BenchmarkLiveRepartition cold/warm results missing" > "/dev/stderr"
+        exit 1
+    }
+    if (warm + 0 >= cold + 0) {
+        printf("bench gate: warm cycle %.0f ns/op is not below cold %.0f ns/op\n", warm, cold) > "/dev/stderr"
+        exit 1
+    }
+    printf("bench gate: warm cycle %.0f ns/op < cold %.0f ns/op (%.1fx)\n", warm, cold, cold / warm)
+}' "$TXT"
